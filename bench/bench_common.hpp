@@ -1,0 +1,42 @@
+// Shared scaffolding for the bench harnesses: every bench resolves its
+// parameters from the command line, echoes them (so captured output is
+// self-describing), emits a machine-readable TSV block delimited by
+// "### begin tsv <name>" / "### end tsv", and usually an ASCII rendering.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/table.hpp"
+
+namespace ppsim::benchutil {
+
+/// Prints the bench banner with the resolved parameter set.
+inline void banner(const std::string& name, const std::string& purpose) {
+  std::cout << "==============================================================\n"
+            << "bench: " << name << "\n"
+            << purpose << "\n"
+            << "==============================================================\n";
+}
+
+inline void param(const std::string& name, const std::string& value) {
+  std::cout << "  " << name << " = " << value << "\n";
+}
+
+inline void param(const std::string& name, std::int64_t value) {
+  param(name, std::to_string(value));
+}
+
+inline void param(const std::string& name, double value) {
+  param(name, format_double(value, 4));
+}
+
+/// Emits a named TSV block (greppable from recorded output).
+inline void tsv_block(const std::string& name, const Table& table) {
+  std::cout << "### begin tsv " << name << "\n";
+  table.write_tsv(std::cout);
+  std::cout << "### end tsv\n";
+}
+
+}  // namespace ppsim::benchutil

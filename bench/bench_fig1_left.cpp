@@ -1,0 +1,130 @@
+// Reproduces Figure 1 (left): evolution of the undecided count, the majority
+// opinion, and the minority opinions (scaled by k) over parallel time, for
+// n = 10^6, k = 27, bias = √(n ln n), with the reference line
+// y = n/2 - n/4k.
+//
+// Paper observations this run should show:
+//   * u(t) climbs quickly from 0 and then hugs n/2 - n/4k from below;
+//   * the majority stays low for most of the run, then spikes to n;
+//   * minority opinions (×k) are non-monotone and cluster near n/2.
+//
+// Flags: --n, --k, --seed, --samples (per-run sample count), --max-parallel
+//        (safety budget, in parallel time units).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/ascii_plot.hpp"
+#include "ppsim/util/cli.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const Count n = cli.get_int("n", 1'000'000);
+  const auto k = static_cast<std::size_t>(
+      cli.get_int("k", static_cast<std::int64_t>(bounds::paper_k(n))));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 2025));
+  const std::int64_t samples = cli.get_int("samples", 400);
+  const double max_parallel = cli.get_double("max-parallel", 10000.0);
+  cli.validate_no_unknown_flags();
+
+  const InitialConfig init = figure1_configuration(n, k);
+
+  benchutil::banner("fig1_left",
+                    "Figure 1 (left): USD evolution — undecided, majority, minority x k");
+  benchutil::param("n", n);
+  benchutil::param("k", static_cast<std::int64_t>(k));
+  benchutil::param("bias (= ~sqrt(n ln n))", init.bias);
+  benchutil::param("x_majority(0)", init.majority());
+  benchutil::param("x_minority(0)", init.minority());
+  benchutil::param("settle point n/2 - n/4k", bounds::usd_settle_point(n, k));
+  benchutil::param("seed", static_cast<std::int64_t>(seed));
+
+  UsdEngine engine(init.opinion_counts, seed);
+  const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
+  const Interactions stride =
+      std::max<Interactions>(1, budget / std::max<std::int64_t>(samples * 100, 1));
+
+  // Record adaptively: sample every `stride` interactions until stabilization;
+  // we do not know the total duration in advance, so keep everything and
+  // subsample for the plot afterwards.
+  std::vector<double> time;
+  std::vector<double> undecided;
+  std::vector<double> majority;
+  std::vector<double> minority_scaled;  // one highlighted minority, x k
+  std::vector<double> mean_minority_scaled;
+
+  const Opinion highlighted = static_cast<Opinion>(k / 2);  // arbitrary fixed minority
+  auto record = [&](const UsdEngine& e) {
+    time.push_back(e.time());
+    undecided.push_back(static_cast<double>(e.undecided()));
+    majority.push_back(static_cast<double>(e.opinion_count(0)));
+    minority_scaled.push_back(static_cast<double>(e.opinion_count(highlighted)) *
+                              static_cast<double>(k));
+    double mean_min = 0.0;
+    for (Opinion j = 1; j < k; ++j) {
+      mean_min += static_cast<double>(e.opinion_count(j));
+    }
+    mean_min /= static_cast<double>(k - 1);
+    mean_minority_scaled.push_back(mean_min * static_cast<double>(k));
+  };
+
+  record(engine);
+  Interactions next_sample = stride;
+  while (!engine.stabilized() && engine.interactions() < budget) {
+    engine.step();
+    if (engine.interactions() >= next_sample) {
+      record(engine);
+      next_sample = engine.interactions() + stride;
+    }
+  }
+  record(engine);
+
+  benchutil::param("stabilized", engine.stabilized() ? "yes" : "NO (budget hit)");
+  benchutil::param("stabilization parallel time", engine.time());
+  benchutil::param("winner",
+                   engine.winner().has_value() ? std::to_string(*engine.winner())
+                                               : std::string("none"));
+
+  Table table({"parallel_time", "undecided", "majority", "minority_x_k",
+               "mean_minority_x_k"});
+  const std::size_t step =
+      std::max<std::size_t>(1, time.size() / static_cast<std::size_t>(samples));
+  for (std::size_t i = 0; i < time.size(); i += step) {
+    table.row()
+        .cell(time[i], 3)
+        .cell(undecided[i], 0)
+        .cell(majority[i], 0)
+        .cell(minority_scaled[i], 0)
+        .cell(mean_minority_scaled[i], 0)
+        .done();
+  }
+  benchutil::tsv_block("fig1_left", table);
+
+  AsciiPlot plot(100, 28);
+  plot.set_labels("parallel time", "agents");
+  plot.add_series("undecided u(t)", 'u', time, undecided);
+  plot.add_series("majority x1(t)", 'M', time, majority);
+  plot.add_series("minority (x k)", 'm', time, minority_scaled);
+  plot.add_hline("n/2 - n/4k", '.', bounds::usd_settle_point(n, k));
+  std::cout << plot.render();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

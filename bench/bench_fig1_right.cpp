@@ -1,0 +1,145 @@
+// Reproduces Figure 1 (right): zoom on the window in which the majority
+// doubles its initial count. Plots the majority x1(t), the mean minority,
+// and the maximum difference max_{j>=2}(x1 - x_j), all un-scaled
+// (y range ~ n/10 as in the paper).
+//
+// Paper observations this run should show:
+//   * reaching 2·x1(0) consumes most of the stabilization time (~70 of ~90
+//     parallel time units at n = 10^6);
+//   * the maximum difference grows slowly (doubling needs Θ(kn)
+//     interactions, Lemma 3.4) and only explodes at the very end.
+//
+// Flags: --n, --k, --seed, --samples, --max-parallel.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/ascii_plot.hpp"
+#include "ppsim/util/cli.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const Count n = cli.get_int("n", 1'000'000);
+  const auto k = static_cast<std::size_t>(
+      cli.get_int("k", static_cast<std::int64_t>(bounds::paper_k(n))));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2025));
+  const std::int64_t samples = cli.get_int("samples", 400);
+  const double max_parallel = cli.get_double("max-parallel", 10000.0);
+  cli.validate_no_unknown_flags();
+
+  const InitialConfig init = figure1_configuration(n, k);
+  const Count doubling_level = 2 * init.majority();
+
+  benchutil::banner("fig1_right",
+                    "Figure 1 (right): majority doubling window with max difference");
+  benchutil::param("n", n);
+  benchutil::param("k", static_cast<std::int64_t>(k));
+  benchutil::param("bias", init.bias);
+  benchutil::param("x_majority(0)", init.majority());
+  benchutil::param("doubling level 2*x1(0)", doubling_level);
+  benchutil::param("seed", static_cast<std::int64_t>(seed));
+
+  UsdEngine engine(init.opinion_counts, seed);
+  const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
+  const Interactions stride = std::max<Interactions>(
+      1, budget / std::max<std::int64_t>(samples * 100, 1));
+
+  std::vector<double> time;
+  std::vector<double> majority;
+  std::vector<double> mean_minority;
+  std::vector<double> max_difference;  // max_{j>=2}(x1 - x_j)
+
+  auto record = [&](const UsdEngine& e) {
+    time.push_back(e.time());
+    const auto x1 = static_cast<double>(e.opinion_count(0));
+    majority.push_back(x1);
+    double mean_min = 0.0;
+    Count min_minority = e.opinion_count(1);
+    for (Opinion j = 1; j < k; ++j) {
+      const Count xj = e.opinion_count(j);
+      mean_min += static_cast<double>(xj);
+      min_minority = std::min(min_minority, xj);
+    }
+    mean_minority.push_back(mean_min / static_cast<double>(k - 1));
+    max_difference.push_back(x1 - static_cast<double>(min_minority));
+  };
+
+  record(engine);
+  Interactions next_sample = stride;
+  Interactions doubling_time = -1;
+  while (!engine.stabilized() && engine.interactions() < budget) {
+    engine.step();
+    if (doubling_time < 0 && engine.opinion_count(0) >= doubling_level) {
+      doubling_time = engine.interactions();
+      record(engine);
+    }
+    if (engine.interactions() >= next_sample) {
+      record(engine);
+      next_sample = engine.interactions() + stride;
+    }
+  }
+  record(engine);
+
+  const double total_time = engine.time();
+  benchutil::param("stabilized", engine.stabilized() ? "yes" : "NO (budget hit)");
+  benchutil::param("stabilization parallel time", total_time);
+  if (doubling_time >= 0) {
+    const double doubling_parallel = parallel_time(doubling_time, n);
+    benchutil::param("parallel time to double x1", doubling_parallel);
+    benchutil::param("doubling fraction of total", doubling_parallel / total_time);
+  } else {
+    benchutil::param("parallel time to double x1", "never (stabilized first)");
+  }
+
+  // Zoomed table: only samples up to shortly after the doubling event.
+  const double zoom_end =
+      doubling_time >= 0 ? parallel_time(doubling_time, n) * 1.1 : total_time;
+  Table table({"parallel_time", "majority", "mean_minority", "max_difference"});
+  const std::size_t step =
+      std::max<std::size_t>(1, time.size() / static_cast<std::size_t>(samples));
+  std::vector<double> zt;
+  std::vector<double> zmaj;
+  std::vector<double> zmin;
+  std::vector<double> zdiff;
+  for (std::size_t i = 0; i < time.size(); i += step) {
+    if (time[i] > zoom_end) break;
+    table.row()
+        .cell(time[i], 3)
+        .cell(majority[i], 0)
+        .cell(mean_minority[i], 0)
+        .cell(max_difference[i], 0)
+        .done();
+    zt.push_back(time[i]);
+    zmaj.push_back(majority[i]);
+    zmin.push_back(mean_minority[i]);
+    zdiff.push_back(max_difference[i]);
+  }
+  benchutil::tsv_block("fig1_right", table);
+
+  AsciiPlot plot(100, 28);
+  plot.set_labels("parallel time", "agents");
+  plot.add_series("majority x1(t)", 'M', zt, zmaj);
+  plot.add_series("mean minority", 'm', zt, zmin);
+  plot.add_series("max difference", 'D', zt, zdiff);
+  std::cout << plot.render();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,131 @@
+// Extension experiment: how much does the clique assumption matter?
+//
+// The paper's lower bound (like nearly all USD analyses) is proved on the
+// clique with a uniform scheduler. The original Angluin et al. model allows
+// arbitrary interaction graphs; this bench runs the *same* USD rule with the
+// same biased initial opinions on different topologies and reports
+// stabilization parallel time and the majority win rate.
+//
+// Expected shape: the clique is the fastest and most reliable; expanders
+// (random regular) are close; cycles/paths are dramatically slower (mixing
+// is Θ(n²) interactions) and much less reliable for the plurality outcome,
+// because local clustering lets minority pockets survive.
+//
+// Flags: --n, --k, --trials, --seed, --threads.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/graph.hpp"
+#include "ppsim/core/graph_simulator.hpp"
+#include "ppsim/core/runner.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/cli.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+std::vector<State> spread_states(const InitialConfig& init, NodeId n,
+                                 Xoshiro256pp& rng) {
+  // Assign opinions to nodes in a random permutation so topology effects are
+  // not confounded with placement effects.
+  std::vector<State> states;
+  states.reserve(n);
+  for (std::size_t op = 0; op < init.opinion_counts.size(); ++op) {
+    for (Count c = 0; c < init.opinion_counts[op]; ++c) {
+      states.push_back(UndecidedStateDynamics::opinion_state(static_cast<Opinion>(op)));
+    }
+  }
+  // Fisher-Yates
+  for (std::size_t i = states.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(states[i - 1], states[j]);
+  }
+  return states;
+}
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto n = static_cast<NodeId>(cli.get_int("n", 300));
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 4));
+  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
+  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  cli.validate_no_unknown_flags();
+
+  benchutil::banner("graph_topology",
+                    "USD on general interaction graphs (extension beyond the clique)");
+  benchutil::param("n", static_cast<std::int64_t>(n));
+  benchutil::param("k", static_cast<std::int64_t>(k));
+  benchutil::param("trials per topology", static_cast<std::int64_t>(trials));
+
+  const UndecidedStateDynamics usd(k);
+  const InitialConfig init = figure1_configuration(n, k);
+  benchutil::param("bias", init.bias);
+
+  struct Topology {
+    std::string name;
+    InteractionGraph graph;
+  };
+  Xoshiro256pp gen_rng(seed);
+  std::vector<Topology> topologies;
+  topologies.push_back({"clique", InteractionGraph::complete(n)});
+  topologies.push_back({"random-4-regular",
+                        InteractionGraph::random_regular(n, 4, gen_rng)});
+  topologies.push_back({"star", InteractionGraph::star(n)});
+  topologies.push_back({"cycle", InteractionGraph::cycle(n)});
+
+  Table table({"topology", "edges", "stabilized_rate", "mean_parallel_time",
+               "max_parallel_time", "majority_win_rate"});
+
+  for (const auto& topo : topologies) {
+    auto trial = [&](std::uint64_t trial_seed, std::size_t) {
+      Xoshiro256pp placement(trial_seed);
+      GraphSimulator sim(usd, topo.graph, spread_states(init, n, placement),
+                         trial_seed ^ 0x5bd1e995u);
+      // The cycle coarsens diffusively: Θ(n²) parallel time, i.e. Θ(n³)
+      // interactions — budget 20·n³ so it can actually finish.
+      const auto budget = static_cast<Interactions>(20) *
+                          static_cast<Interactions>(n) * n * n;
+      const bool stable = sim.run_until_stable(budget);
+      TrialResult r;
+      r.stabilized = stable;
+      r.parallel_time = sim.parallel_time();
+      r.winner = sim.consensus_output();
+      return r;
+    };
+    const TrialAggregate agg =
+        aggregate(run_trials(trial, trials, seed + topo.graph.num_edges(), threads));
+    table.row()
+        .cell(topo.name)
+        .cell(static_cast<std::int64_t>(topo.graph.num_edges()))
+        .cell(agg.stabilized_fraction(), 2)
+        .cell(agg.parallel_time.mean(), 1)
+        .cell(agg.parallel_time.max(), 1)
+        .cell(agg.win_rate(0), 2)
+        .done();
+    std::cout << "  " << topo.name << " done\n";
+  }
+
+  benchutil::tsv_block("graph_topology", table);
+  table.write_pretty(std::cout);
+  std::cout << "\nExpected shape: clique fastest and most reliable; the expander is "
+               "close;\nstar funnels everything through the hub; the cycle is orders "
+               "of magnitude\nslower (diffusive mixing) and the majority win rate "
+               "degrades.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,128 @@
+// The headline experiment (Theorem 3.5): measured stabilization time of USD
+// on the adversarial configuration, swept over k at fixed n, compared
+// against
+//   * the paper's lower bound   (k/25)·ln(√n/(k ln n))   — must lie below
+//     every measurement, and
+//   * the Amir et al. upper-bound shape k·ln n           — must describe the
+//     growth (good proportional fit).
+//
+// The paper's claim is about *shape*: stabilization time grows ~linearly in
+// k (for fixed n), sandwiched between the two bounds, making the lower bound
+// "almost tight". Output: one row per k with measured mean/min/max parallel
+// time, the two bound values, and the measured/LB ratio; then the fitted
+// constants.
+//
+// Flags: --n, --trials, --seed, --kmin, --kmax (sweep is geometric-ish),
+//        --threads.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/analysis/scaling.hpp"
+#include "ppsim/core/runner.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const Count n = cli.get_int("n", 250'000);
+  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::int64_t kmin = cli.get_int("kmin", 8);
+  // Stay well inside k = o(√n/ln n): for n = 250k, √n/ln n ≈ 40, so the
+  // default sweep tops out at 32 (the bound degenerates beyond).
+  const std::int64_t kmax = cli.get_int("kmax", 32);
+  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  cli.validate_no_unknown_flags();
+
+  benchutil::banner("scaling_lower_bound",
+                    "Theorem 3.5: stabilization time vs k, against LB (k/25)ln(sqrt(n)/(k ln n)) "
+                    "and UB shape k ln n");
+  benchutil::param("n", n);
+  benchutil::param("trials per k", static_cast<std::int64_t>(trials));
+  benchutil::param("seed", static_cast<std::int64_t>(seed));
+
+  std::vector<std::size_t> ks;
+  for (std::int64_t k = kmin; k <= kmax; k = (k * 3) / 2) {
+    ks.push_back(static_cast<std::size_t>(k));
+  }
+
+  Table table({"k", "bias", "mean_parallel_time", "min", "max", "lower_bound",
+               "upper_bound_kln_n", "measured_over_lb"});
+  std::vector<ScalingPoint> points;
+
+  for (const std::size_t k : ks) {
+    const InitialConfig init = figure1_configuration(n, k);
+    auto trial = [&](std::uint64_t trial_seed, std::size_t) {
+      UsdEngine engine(init.opinion_counts, trial_seed);
+      engine.run_until_stable(100000 * n);
+      TrialResult r;
+      r.stabilized = engine.stabilized();
+      r.interactions = engine.interactions();
+      r.parallel_time = engine.time();
+      r.winner = engine.winner();
+      return r;
+    };
+    const auto results = run_trials(trial, trials, seed + k, threads);
+    const TrialAggregate agg = aggregate(results);
+    const double lb = bounds::theorem35_parallel_lower_bound(n, k);
+    const double ub = bounds::amir_parallel_upper_bound(n, k);
+    const double mean = agg.parallel_time.mean();
+    table.row()
+        .cell(static_cast<std::int64_t>(k))
+        .cell(init.bias)
+        .cell(mean, 2)
+        .cell(agg.parallel_time.min(), 2)
+        .cell(agg.parallel_time.max(), 2)
+        .cell(lb, 3)
+        .cell(ub, 1)
+        .cell(lb > 0 ? mean / lb : 0.0, 2)
+        .done();
+    points.push_back({n, k, mean});
+    std::cout << "  k=" << k << " done: mean parallel time " << format_double(mean, 2)
+              << " (" << agg.stabilized << "/" << trials << " stabilized, majority won "
+              << format_double(agg.win_rate(0) * 100.0, 1) << "%)\n";
+  }
+
+  benchutil::tsv_block("scaling_lower_bound", table);
+  table.write_pretty(std::cout);
+
+  const ScalingFit fit = fit_scaling(points);
+  std::cout << "\naffine fit T = a*k + b (the testable form of the Θ(k·log) sandwich):\n"
+            << "  a = " << format_double(fit.affine_in_k.slope, 3)
+            << ", b = " << format_double(fit.affine_in_k.intercept, 2)
+            << ", R^2 = " << format_double(fit.affine_in_k.r_squared, 4) << "\n";
+  std::cout << "proportional fit vs LB shape k·ln(sqrt(n)/(k ln n)): c = "
+            << format_double(fit.lower_bound_shape.slope, 3)
+            << " (log factor ~constant at this n; see EXPERIMENTS.md)\n";
+  std::cout << "proportional fit vs UB shape k·ln n:                 c = "
+            << format_double(fit.upper_bound_shape.slope, 3) << "\n";
+  std::cout << "min measured/LB ratio: "
+            << format_double(fit.min_ratio_to_lower_bound, 2)
+            << (fit.min_ratio_to_lower_bound >= 1.0
+                    ? "  -> lower bound HOLDS on every point\n"
+                    : "  -> LOWER BOUND VIOLATED\n");
+  const bool linear_in_k = fit.affine_in_k.r_squared > 0.9;
+  std::cout << (linear_in_k ? "growth is linear in k (R^2 > 0.9)\n"
+                            : "WARNING: growth not cleanly linear in k\n");
+  return fit.min_ratio_to_lower_bound >= 1.0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,92 @@
+// Approximate majority as a chemical reaction network — the cell-cycle
+// switch of Cardelli & Csikász-Nagy (cited in the paper's introduction) and
+// the DNA strand-displacement implementation of Chen et al.
+//
+// The two-opinion USD *is* the AM (approximate majority) CRN:
+//     X + Y -> B + B        (opposite species annihilate into "blank")
+//     X + B -> X + X        (catalytic amplification)
+//     Y + B -> Y + Y
+// where B is the undecided/blank species. The population protocol scheduler
+// corresponds to a well-mixed stochastic chemical kinetics (Gillespie)
+// simulation in which every reaction has identical rate constants; the
+// "parallel time" axis is proportional to physical time.
+//
+// The demo runs the switch from a 55/45 mixture, plots the species
+// trajectories, and reports the switching statistics over repeated runs —
+// the bistable, winner-takes-all behaviour that makes this CRN a model of
+// the cell-cycle switch.
+#include <iostream>
+#include <vector>
+
+#include "ppsim/core/runner.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/ascii_plot.hpp"
+#include "ppsim/util/table.hpp"
+
+int main() {
+  using namespace ppsim;
+
+  const Count molecules = 20'000;
+  const Count x0 = 11'000;  // species X (55%)
+  const Count y0 = 9'000;   // species Y (45%)
+
+  std::cout << "=== approximate-majority chemical switch ===\n"
+            << "X(0) = " << x0 << ", Y(0) = " << y0 << ", B(0) = 0\n\n";
+
+  // --- one trajectory, plotted ---
+  UsdEngine engine({x0, y0}, /*seed=*/11);
+  std::vector<double> t;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> b;
+  const Interactions stride = molecules / 10;
+  Interactions next = 0;
+  while (!engine.stabilized()) {
+    if (engine.interactions() >= next) {
+      t.push_back(engine.time());
+      x.push_back(static_cast<double>(engine.opinion_count(0)));
+      y.push_back(static_cast<double>(engine.opinion_count(1)));
+      b.push_back(static_cast<double>(engine.undecided()));
+      next = engine.interactions() + stride;
+    }
+    engine.step();
+  }
+  t.push_back(engine.time());
+  x.push_back(static_cast<double>(engine.opinion_count(0)));
+  y.push_back(static_cast<double>(engine.opinion_count(1)));
+  b.push_back(static_cast<double>(engine.undecided()));
+
+  AsciiPlot plot(90, 22);
+  plot.set_labels("time (parallel units ~ physical time)", "molecules");
+  plot.add_series("X", 'X', t, x);
+  plot.add_series("Y", 'Y', t, y);
+  plot.add_series("B (blank)", '.', t, b);
+  std::cout << plot.render() << "\n";
+  std::cout << "switch resolved to " << (engine.opinion_count(0) > 0 ? "X" : "Y")
+            << " after " << engine.time() << " time units\n\n";
+
+  // --- switching statistics over many stochastic runs ---
+  auto trial = [&](std::uint64_t seed, std::size_t) {
+    UsdEngine e({x0, y0}, seed);
+    e.run_until_stable(10000 * molecules);
+    TrialResult r;
+    r.stabilized = e.stabilized();
+    r.winner = e.winner();
+    r.parallel_time = e.time();
+    return r;
+  };
+  const auto results = run_trials(trial, 100, 777, 0);
+  const TrialAggregate agg = aggregate(results);
+
+  Table table({"outcome", "runs"});
+  table.row().cell("X wins").cell(static_cast<std::int64_t>(
+      agg.wins.count(0) ? agg.wins.at(0) : 0)).done();
+  table.row().cell("Y wins").cell(static_cast<std::int64_t>(
+      agg.wins.count(1) ? agg.wins.at(1) : 0)).done();
+  table.row().cell("unresolved").cell(static_cast<std::int64_t>(agg.no_winner)).done();
+  table.write_pretty(std::cout);
+  std::cout << "mean switching time: " << format_double(agg.parallel_time.mean(), 2)
+            << " units (the 10% imbalance biases the switch strongly toward X,\n"
+               "but a minority flip remains possible — approximate majority)\n";
+  return 0;
+}

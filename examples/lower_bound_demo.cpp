@@ -1,0 +1,98 @@
+// Walkthrough of the Theorem 3.5 lower-bound mechanics, epoch by epoch.
+//
+// The proof partitions the run into epochs of τ = kn/25 interactions and
+// maintains, by induction, that during epoch ℓ:
+//   * every opinion stays below 2n/k            (Lemma 3.3),
+//   * the max difference Δ at most doubles       (Lemma 3.4),
+//   * hence every opinion is back under 3n/2k at the epoch boundary,
+// for ℓ up to ~log(√n/(k log n)) epochs — so stabilization cannot happen
+// earlier. This demo runs the adversarial configuration and prints exactly
+// those quantities at every epoch boundary, making the induction visible in
+// the data.
+#include <iostream>
+
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/analysis/drift.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppsim;
+
+  Cli cli(argc, argv);
+  const Count n = cli.get_int("n", 200'000);
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 16));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  cli.validate_no_unknown_flags();
+
+  const InitialConfig init = figure1_configuration(n, k);
+  const auto tau = static_cast<Interactions>(bounds::lemma33_interactions(n, k));
+
+  std::cout << "=== Theorem 3.5 induction, made visible ===\n"
+            << "n = " << n << ", k = " << k << ", bias = " << init.bias << "\n"
+            << "epoch length tau = kn/25 = " << tau << " interactions ("
+            << format_double(parallel_time(tau, n), 2) << " parallel time)\n"
+            << "opinion ceiling 3n/2k = "
+            << format_double(bounds::lemma33_start_level(n, k), 0)
+            << ", hard cap 2n/k = "
+            << format_double(bounds::lemma33_target_level(n, k), 0) << "\n"
+            << "paper epoch budget ~ log2 horizon = "
+            << format_double(bounds::theorem35_epochs(n, k), 2) << " epochs\n"
+            << "lower bound: "
+            << format_double(bounds::theorem35_parallel_lower_bound(n, k), 2)
+            << " parallel time\n\n";
+
+  UsdEngine engine(init.opinion_counts, seed);
+
+  Table table({"epoch", "parallel_time", "u", "u_settle_gap", "max_x", "max_x_over_2n_k",
+               "delta_max", "delta_growth", "survivors", "stabilized"});
+  const double settle = bounds::usd_settle_point(n, k);
+  const double cap = bounds::lemma33_target_level(n, k);
+  Count prev_delta = engine.delta_max();
+
+  for (int epoch = 0; epoch <= 40; ++epoch) {
+    const Count delta = engine.delta_max();
+    table.row()
+        .cell(static_cast<std::int64_t>(epoch))
+        .cell(engine.time(), 2)
+        .cell(engine.undecided())
+        .cell(static_cast<double>(engine.undecided()) - settle, 0)
+        .cell(engine.max_opinion_count())
+        .cell(static_cast<double>(engine.max_opinion_count()) / cap, 3)
+        .cell(delta)
+        .cell(prev_delta > 0 ? static_cast<double>(delta) /
+                                   static_cast<double>(prev_delta)
+                             : 0.0,
+              2)
+        .cell(static_cast<std::int64_t>(engine.surviving_opinions()))
+        .cell(engine.stabilized() ? "yes" : "no")
+        .done();
+    if (engine.stabilized()) break;
+    prev_delta = delta;
+    const Interactions target = engine.interactions() + tau;
+    while (engine.interactions() < target && !engine.stabilized()) engine.step();
+  }
+  table.write_pretty(std::cout);
+
+  std::cout << "\nReading the table like the proof does:\n"
+               "  * u_settle_gap hovers within O(sqrt(n log n)) of 0 (Lemma 3.1);\n"
+               "  * max_x_over_2n_k stays < 1 for many epochs (Lemma 3.3);\n"
+               "  * delta_growth stays around <= 2 per epoch while deltas are small\n"
+               "    (Lemma 3.4) — only when delta reaches ~n/k does the system\n"
+               "    collapse to consensus, which is what the induction forbids\n"
+               "    before ~log(sqrt(n)/(k log n)) epochs.\n";
+
+  if (engine.stabilized()) {
+    std::cout << "\nstabilized at " << format_double(engine.time(), 2)
+              << " parallel time vs lower bound "
+              << format_double(bounds::theorem35_parallel_lower_bound(n, k), 2)
+              << " (ratio "
+              << format_double(engine.time() /
+                                   bounds::theorem35_parallel_lower_bound(n, k),
+                               1)
+              << "x)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Universal command-line runner: run any protocol in the library on a
+// configurable population without writing C++. The sixth example doubles as
+// the library's scripting entry point:
+//
+//   ppsim_run --protocol usd --n 100000 --k 8 --bias auto --seed 7
+//   ppsim_run --protocol four-state --n 10000 --bias 100 --trials 20
+//   ppsim_run --protocol usd-gossip --n 50000 --k 4
+//   ppsim_run --protocol usd --n 100000 --k 8 --series out.tsv
+//
+// Protocols: usd | usd-gossip | three-majority | four-state | averaging |
+//            cancel-duplicate | leader-election | epidemic.
+// --bias auto = sqrt(n ln n). --series FILE writes the USD time series.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/gossip.hpp"
+#include "ppsim/core/runner.hpp"
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/protocols/averaging_majority.hpp"
+#include "ppsim/protocols/cancel_duplicate.hpp"
+#include "ppsim/protocols/epidemic.hpp"
+#include "ppsim/protocols/four_state_majority.hpp"
+#include "ppsim/protocols/leader_election.hpp"
+#include "ppsim/protocols/three_majority.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/protocols/usd_gossip.hpp"
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/table.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+void print_aggregate(const TrialAggregate& agg) {
+  std::cout << "trials:       " << agg.trials << "\n"
+            << "stabilized:   " << agg.stabilized << " ("
+            << format_double(agg.stabilized_fraction() * 100.0, 1) << "%)\n";
+  if (agg.parallel_time.count() > 0) {
+    std::cout << "parallel time: mean " << format_double(agg.parallel_time.mean(), 2)
+              << ", min " << format_double(agg.parallel_time.min(), 2) << ", max "
+              << format_double(agg.parallel_time.max(), 2) << "\n";
+  }
+  for (const auto& [opinion, wins] : agg.wins) {
+    std::cout << "opinion " << opinion << " won " << wins << "\n";
+  }
+  if (agg.no_winner > 0) {
+    std::cout << "no consensus: " << agg.no_winner << "\n";
+  }
+}
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string protocol = cli.get_string("protocol", "usd");
+  const Count n = cli.get_int("n", 100'000);
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 2));
+  const std::string bias_flag = cli.get_string("bias", "auto");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 1));
+  const double max_parallel = cli.get_double("max-parallel", 100000.0);
+  const std::string series_path = cli.get_string("series", "");
+  cli.validate_no_unknown_flags();
+
+  const Count bias =
+      bias_flag == "auto"
+          ? static_cast<Count>(bounds::whp_bias(n))
+          : static_cast<Count>(std::stoll(bias_flag));
+  const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
+
+  std::cout << "protocol=" << protocol << " n=" << n << " k=" << k << " bias=" << bias
+            << " seed=" << seed << " trials=" << trials << "\n";
+
+  if (protocol == "usd") {
+    const InitialConfig init = adversarial_configuration(n, k, bias);
+    // Optional time series from the first trial.
+    if (!series_path.empty()) {
+      UsdEngine engine(init.opinion_counts, trial_seed(seed, 0));
+      std::ofstream out(series_path);
+      PPSIM_CHECK(out.good(), "cannot open series file " + series_path);
+      out << "parallel_time\tundecided\tmajority\tdelta_max\tsurvivors\n";
+      const Interactions stride = std::max<Interactions>(1, n / 10);
+      Interactions next = 0;
+      while (!engine.stabilized() && engine.interactions() < budget) {
+        if (engine.interactions() >= next) {
+          out << engine.time() << '\t' << engine.undecided() << '\t'
+              << engine.opinion_count(0) << '\t' << engine.delta_max() << '\t'
+              << engine.surviving_opinions() << '\n';
+          next = engine.interactions() + stride;
+        }
+        engine.step();
+      }
+      std::cout << "series written to " << series_path << "\n";
+    }
+    auto trial = [&](std::uint64_t s, std::size_t) {
+      UsdEngine engine(init.opinion_counts, s);
+      engine.run_until_stable(budget);
+      TrialResult r;
+      r.stabilized = engine.stabilized();
+      r.parallel_time = engine.time();
+      r.winner = engine.winner();
+      return r;
+    };
+    print_aggregate(aggregate(run_trials(trial, trials, seed, 0)));
+    return 0;
+  }
+
+  if (protocol == "usd-gossip") {
+    const UsdGossipRule rule(k);
+    const InitialConfig init = adversarial_configuration(n, k, bias);
+    RunningStats rounds;
+    std::size_t stabilized = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      GossipEngine engine(rule, rule.initial(init.opinion_counts), trial_seed(seed, t));
+      const GossipOutcome out = engine.run_until_stable(1'000'000);
+      if (out.stabilized) {
+        ++stabilized;
+        rounds.add(static_cast<double>(out.rounds));
+      }
+    }
+    std::cout << "stabilized " << stabilized << "/" << trials << ", mean rounds "
+              << format_double(rounds.mean(), 1) << "\n";
+    return 0;
+  }
+
+  if (protocol == "three-majority") {
+    const InitialConfig init = adversarial_configuration(n, k, bias);
+    RunningStats rounds;
+    std::size_t consensus = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      ThreeMajorityEngine engine(init.opinion_counts, trial_seed(seed, t));
+      if (engine.run_until_consensus(1'000'000)) {
+        ++consensus;
+        rounds.add(static_cast<double>(engine.rounds()));
+      }
+    }
+    std::cout << "consensus " << consensus << "/" << trials << ", mean rounds "
+              << format_double(rounds.mean(), 1) << "\n";
+    return 0;
+  }
+
+  // Two-party generic-simulator protocols share one driver.
+  auto run_generic = [&](const Protocol& p, Configuration initial,
+                         Simulator::Engine engine_kind) {
+    auto trial = [&](std::uint64_t s, std::size_t) {
+      Simulator sim(p, initial, s, engine_kind);
+      const RunOutcome out = sim.run_until_stable(budget);
+      TrialResult r;
+      r.stabilized = out.stabilized;
+      r.parallel_time = sim.parallel_time();
+      r.winner = out.consensus;
+      return r;
+    };
+    print_aggregate(aggregate(run_trials(trial, trials, seed, 0)));
+  };
+
+  const Count a = (n + bias) / 2;
+  const Count b = n - a;
+  if (protocol == "four-state") {
+    const FourStateMajority p;
+    run_generic(p, FourStateMajority::initial(a, b), Simulator::Engine::kTable);
+  } else if (protocol == "averaging") {
+    const AveragingMajority p(std::max<Count>(64, n));
+    run_generic(p, p.initial(a, b), Simulator::Engine::kVirtual);
+  } else if (protocol == "cancel-duplicate") {
+    const CancellationDuplication p(4);
+    run_generic(p, p.initial(a, b), Simulator::Engine::kTable);
+  } else if (protocol == "leader-election") {
+    const LeaderElection p;
+    run_generic(p, LeaderElection::initial(n), Simulator::Engine::kTable);
+  } else if (protocol == "epidemic") {
+    const Epidemic p;
+    run_generic(p, Epidemic::initial(n, 1), Simulator::Engine::kTable);
+  } else {
+    std::cerr << "unknown protocol: " << protocol
+              << " (usd | usd-gossip | three-majority | four-state | averaging |"
+                 " cancel-duplicate | leader-election | epidemic)\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

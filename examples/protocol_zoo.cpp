@@ -1,0 +1,196 @@
+// Tour of every protocol in the library on one shared population — a
+// breadth demo of the public API: the generic Simulator with table and
+// virtual dispatch, the specialized USD engine, the Gossip engine, and the
+// per-agent 3-majority engine.
+#include <iostream>
+
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/gossip.hpp"
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/protocols/averaging_majority.hpp"
+#include "ppsim/protocols/epidemic.hpp"
+#include "ppsim/protocols/four_state_majority.hpp"
+#include "ppsim/protocols/leader_election.hpp"
+#include "ppsim/protocols/phase_clock.hpp"
+#include "ppsim/protocols/synchronized_usd.hpp"
+#include "ppsim/protocols/three_majority.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/protocols/usd_gossip.hpp"
+#include "ppsim/util/table.hpp"
+
+int main() {
+  using namespace ppsim;
+
+  const Count n = 20'000;
+  const std::uint64_t seed = 99;
+  Table table({"protocol", "model", "states", "outcome", "time"});
+
+  // --- USD, k = 6, specialized engine ---
+  {
+    const InitialConfig init = figure1_configuration(n, 6);
+    UsdEngine engine(init.opinion_counts, seed);
+    engine.run_until_stable(100000 * n);
+    table.row()
+        .cell("usd-k6 (fast engine)")
+        .cell("population")
+        .cell(std::int64_t{7})
+        .cell(engine.winner() ? "consensus on op " + std::to_string(*engine.winner())
+                              : "none")
+        .cell(format_double(engine.time(), 1) + " pt")
+        .done();
+  }
+
+  // --- USD through the generic table engine ---
+  {
+    const UndecidedStateDynamics usd(3);
+    const InitialConfig init = figure1_configuration(n, 3);
+    std::vector<Count> counts;
+    counts.push_back(0);
+    counts.insert(counts.end(), init.opinion_counts.begin(), init.opinion_counts.end());
+    Simulator sim(usd, Configuration(counts), seed);
+    const RunOutcome out = sim.run_until_stable(100000 * n);
+    table.row()
+        .cell("usd-k3 (table engine)")
+        .cell("population")
+        .cell(static_cast<std::int64_t>(usd.num_states()))
+        .cell(out.consensus ? "consensus on op " + std::to_string(*out.consensus)
+                            : "none")
+        .cell(format_double(sim.parallel_time(), 1) + " pt")
+        .done();
+  }
+
+  // --- 4-state exact majority ---
+  {
+    const FourStateMajority p;
+    Simulator sim(p, FourStateMajority::initial(n / 2 + 200, n / 2 - 200), seed);
+    const RunOutcome out = sim.run_until_stable(100000 * n);
+    table.row()
+        .cell(p.name())
+        .cell("population")
+        .cell(std::int64_t{4})
+        .cell(out.consensus ? "exact winner op " + std::to_string(*out.consensus)
+                            : "tie")
+        .cell(format_double(sim.parallel_time(), 1) + " pt")
+        .done();
+  }
+
+  // --- quantized averaging (virtual dispatch: 2m+1 states) ---
+  {
+    const AveragingMajority p(1 << 12);
+    Simulator sim(p, p.initial(n / 2 + 10, n / 2 - 10), seed,
+                  Simulator::Engine::kVirtual);
+    const RunOutcome out = sim.run_until_stable(100000 * n);
+    table.row()
+        .cell(p.name())
+        .cell("population")
+        .cell(static_cast<std::int64_t>(p.num_states()))
+        .cell(out.consensus ? "exact winner op " + std::to_string(*out.consensus)
+                            : "tie")
+        .cell(format_double(sim.parallel_time(), 1) + " pt")
+        .done();
+  }
+
+  // --- leader election ---
+  {
+    const LeaderElection p;
+    Simulator sim(p, LeaderElection::initial(n), seed);
+    sim.run_until_stable(100000 * n);
+    table.row()
+        .cell(p.name())
+        .cell("population")
+        .cell(std::int64_t{2})
+        .cell(std::to_string(sim.configuration().count(LeaderElection::kLeader)) +
+              " leader left")
+        .cell(format_double(sim.parallel_time(), 1) + " pt")
+        .done();
+  }
+
+  // --- epidemic ---
+  {
+    const Epidemic p;
+    Simulator sim(p, Epidemic::initial(n, 1), seed);
+    sim.run_until_stable(100000 * n);
+    table.row()
+        .cell(p.name())
+        .cell("population")
+        .cell(std::int64_t{2})
+        .cell("all informed")
+        .cell(format_double(sim.parallel_time(), 1) + " pt")
+        .done();
+  }
+
+  // --- phase clock (never stabilizes; run a fixed horizon) ---
+  {
+    const PhaseClock p(16);
+    Simulator sim(p, p.initial(n), seed);
+    for (Count i = 0; i < 30 * n; ++i) sim.step();
+    std::size_t leader_phase = 0;
+    for (State s = 0; s < p.num_states(); ++s) {
+      if (p.is_leader(s) && sim.configuration().count(s) > 0) {
+        leader_phase = p.phase(s);
+      }
+    }
+    table.row()
+        .cell(p.name())
+        .cell("population")
+        .cell(static_cast<std::int64_t>(p.num_states()))
+        .cell("leader at phase " + std::to_string(leader_phase) + " after 30 pt")
+        .cell("30.0 pt")
+        .done();
+  }
+
+  // --- synchronized USD (convergence to opinion consensus) ---
+  {
+    const SynchronizedUsd p(4, 8);
+    const InitialConfig init = figure1_configuration(n, 4);
+    Simulator sim(p, p.initial(init.opinion_counts), seed);
+    std::optional<Opinion> consensus;
+    while (sim.interactions() < 100000 * n) {
+      for (Count i = 0; i < n; ++i) sim.step();
+      consensus = p.consensus_opinion(sim.configuration());
+      if (consensus.has_value()) break;
+    }
+    table.row()
+        .cell(p.name())
+        .cell("population")
+        .cell(static_cast<std::int64_t>(p.num_states()))
+        .cell(consensus ? "consensus on op " + std::to_string(*consensus) : "none")
+        .cell(format_double(sim.parallel_time(), 1) + " pt")
+        .done();
+  }
+
+  // --- USD in the Gossip model ---
+  {
+    const UsdGossipRule rule(6);
+    const InitialConfig init = figure1_configuration(n, 6);
+    GossipEngine engine(rule, rule.initial(init.opinion_counts), seed);
+    const GossipOutcome out = engine.run_until_stable(1'000'000);
+    table.row()
+        .cell(rule.name())
+        .cell("gossip")
+        .cell(static_cast<std::int64_t>(rule.num_states()))
+        .cell(out.stabilized ? "consensus" : "none")
+        .cell(std::to_string(out.rounds) + " rounds")
+        .done();
+  }
+
+  // --- 3-majority in the Gossip model ---
+  {
+    const InitialConfig init = figure1_configuration(n, 6);
+    ThreeMajorityEngine engine(init.opinion_counts, seed);
+    engine.run_until_consensus(100000);
+    table.row()
+        .cell("three-majority")
+        .cell("gossip")
+        .cell(std::int64_t{6})
+        .cell(engine.winner() ? "consensus on op " + std::to_string(*engine.winner())
+                              : "none")
+        .cell(std::to_string(engine.rounds()) + " rounds")
+        .done();
+  }
+
+  std::cout << "=== ppsim protocol zoo (n = " << n << ") ===\n";
+  table.write_pretty(std::cout);
+  std::cout << "pt = parallel time (interactions / n)\n";
+  return 0;
+}

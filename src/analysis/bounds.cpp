@@ -1,0 +1,131 @@
+#include "ppsim/analysis/bounds.hpp"
+
+#include <cmath>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim::bounds {
+
+namespace {
+
+double as_d(Count n) { return static_cast<double>(n); }
+double as_d(std::size_t k) { return static_cast<double>(k); }
+
+void check_nk(Count n, std::size_t k) {
+  PPSIM_CHECK(n >= 2, "population must have at least two agents");
+  PPSIM_CHECK(k >= 1, "need at least one opinion");
+}
+
+}  // namespace
+
+double usd_settle_point(Count n, std::size_t k) {
+  check_nk(n, k);
+  return as_d(n) / 2.0 - as_d(n) / (4.0 * as_d(k));
+}
+
+double lemma31_ceiling(Count n, std::size_t k) {
+  check_nk(n, k);
+  PPSIM_CHECK(k >= 2, "Lemma 3.1 ceiling needs k >= 2");
+  const double nn = as_d(n);
+  const double kk = as_d(k);
+  const double root = std::sqrt(nn * std::log(nn));
+  return nn / 2.0 - nn / (4.0 * kk) + 10.0 * nn / ((kk - 1.0) * (kk - 1.0)) +
+         (20.0 * 13.0 * 13.0 + 1.0) * root;
+}
+
+double theorem35_parallel_lower_bound(Count n, std::size_t k) {
+  check_nk(n, k);
+  const double nn = as_d(n);
+  const double kk = as_d(k);
+  const double arg = std::sqrt(nn) / (kk * std::log(nn));
+  if (arg <= 1.0) return 0.0;
+  return kk / 25.0 * std::log(arg);
+}
+
+double theorem35_interaction_lower_bound(Count n, std::size_t k) {
+  return as_d(n) * theorem35_parallel_lower_bound(n, k);
+}
+
+double amir_parallel_upper_bound(Count n, std::size_t k) {
+  check_nk(n, k);
+  return as_d(k) * std::log(as_d(n));
+}
+
+double theorem35_max_bias(Count n, std::size_t k) {
+  check_nk(n, k);
+  const double nn = as_d(n);
+  const double kk = as_d(k);
+  const double f = std::pow(std::sqrt(nn) / (kk * std::log(nn)), 0.25);
+  return f * std::sqrt(nn * std::log(nn));
+}
+
+double whp_bias(Count n) {
+  PPSIM_CHECK(n >= 2, "population must have at least two agents");
+  return std::sqrt(as_d(n) * std::log(as_d(n)));
+}
+
+double lemma33_interactions(Count n, std::size_t k) {
+  check_nk(n, k);
+  return as_d(k) * as_d(n) / 25.0;
+}
+
+double lemma34_interactions(Count n, std::size_t k) {
+  check_nk(n, k);
+  return as_d(k) * as_d(n) / 24.0;
+}
+
+double lemma33_start_level(Count n, std::size_t k) {
+  check_nk(n, k);
+  return 1.5 * as_d(n) / as_d(k);
+}
+
+double lemma33_target_level(Count n, std::size_t k) {
+  check_nk(n, k);
+  return 2.0 * as_d(n) / as_d(k);
+}
+
+double theorem35_epochs(Count n, std::size_t k) {
+  check_nk(n, k);
+  const double nn = as_d(n);
+  const double kk = as_d(k);
+  const double f = std::pow(std::sqrt(nn) / (kk * std::log(nn)), 0.25);
+  const double arg =
+      std::pow(nn, 0.75) / (std::sqrt(kk) * std::sqrt(nn * std::log(nn)) * f);
+  if (arg <= 1.0) return 0.0;
+  return std::log2(arg);
+}
+
+double oliveto_witt_escape_bound(double epsilon, double ell, double r) {
+  PPSIM_CHECK(epsilon > 0.0 && ell > 0.0 && r >= 1.0, "Theorem A.1 domain");
+  return std::exp(-epsilon * ell / (132.0 * r * r));
+}
+
+double bernstein_tail(double t, double variance_sum, double m) {
+  PPSIM_CHECK(t > 0.0 && variance_sum >= 0.0 && m > 0.0, "Bernstein domain");
+  return std::exp(-(t * t / 2.0) / (variance_sum + m * t / 3.0));
+}
+
+double lemma32_escape_bound(double t_level, double p, double q, double steps) {
+  PPSIM_CHECK(t_level > 0.0 && p > 0.0 && q > 0.0 && steps > 0.0, "Lemma 3.2 domain");
+  PPSIM_CHECK(q <= p, "q must not exceed p (|E[step]| <= P[move])");
+  const double var = steps * (p - q * q);
+  return std::exp(-(t_level * t_level / 8.0) / (var + 2.0 * t_level / 3.0));
+}
+
+bool lemma32_condition_holds(double t_level, double p, double q, Count n) {
+  PPSIM_CHECK(t_level > 0.0 && p > 0.0 && q > 0.0, "Lemma 3.2 domain");
+  PPSIM_CHECK(n >= 2, "population must have at least two agents");
+  const double rhs = 32.0 * ((p - q * q) / (2.0 * q) + 2.0 / 3.0) * std::log(as_d(n));
+  return t_level >= rhs;
+}
+
+std::size_t paper_k(Count n) {
+  PPSIM_CHECK(n >= 16, "paper_k needs ln ln n > 0");
+  const double nn = as_d(n);
+  const double k = std::sqrt(nn) / (std::log(nn) * std::log(std::log(nn)));
+  // Floor, not round: the paper's own instance (n = 10^6 -> k = 27) floors
+  // the value 27.57.
+  return static_cast<std::size_t>(k);
+}
+
+}  // namespace ppsim::bounds

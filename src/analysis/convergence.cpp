@@ -1,0 +1,51 @@
+#include "ppsim/analysis/convergence.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+ConvergenceReport measure_convergence(Simulator& sim, Opinion target,
+                                      Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+
+  ConvergenceReport report;
+  auto output_correct = [&]() {
+    const std::optional<Opinion> out = sim.consensus_output();
+    return out.has_value() && *out == target;
+  };
+
+  bool correct = output_correct();
+  if (correct) {
+    report.first_convergence = sim.interactions();
+    report.final_convergence = sim.interactions();
+  }
+
+  // Stability checks are strided (they cost O(S²)); output checks run every
+  // interaction because convergence is defined per interaction.
+  Interactions next_stability_check = sim.interactions();
+  while (sim.interactions() < max_interactions) {
+    if (sim.interactions() >= next_stability_check) {
+      if (sim.is_stable()) break;
+      next_stability_check = sim.interactions() + sim.configuration().population();
+    }
+    sim.step();
+    const bool now_correct = output_correct();
+    if (now_correct && !correct) {
+      if (report.first_convergence < 0) report.first_convergence = sim.interactions();
+      report.final_convergence = sim.interactions();
+    } else if (!now_correct && correct) {
+      ++report.output_breaks;
+    }
+    correct = now_correct;
+  }
+
+  report.stabilized = sim.is_stable();
+  if (report.stabilized) report.stabilization = sim.interactions();
+  report.final_output = sim.consensus_output();
+  // If the run ended out of the correct set, the recorded entry times are
+  // stale; only keep final_convergence when correctness currently holds.
+  if (!correct) report.final_convergence = -1;
+  return report;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,81 @@
+#include "ppsim/analysis/hitting_times.hpp"
+
+#include <algorithm>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+namespace {
+
+/// Shared skip-ahead loop: `value()` is monotone in nothing, but changes by
+/// at most `max_step_change` per interaction, which makes the skip exact.
+template <typename ValueFn>
+HittingResult hit_level(UsdEngine& engine, Count level, Count max_step_change,
+                        Interactions max_interactions, ValueFn&& value) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  HittingResult result;
+  for (;;) {
+    const Count v = value(engine);
+    if (v >= level) {
+      result.hit = true;
+      result.interactions_at_hit = engine.interactions();
+      break;
+    }
+    if (engine.stabilized() || engine.interactions() >= max_interactions) break;
+    const Count gap = level - v;
+    const Interactions skip = std::max<Interactions>(
+        1, (gap + max_step_change - 1) / max_step_change);
+    const Interactions budget =
+        std::min(engine.interactions() + skip, max_interactions);
+    while (engine.interactions() < budget && !engine.stabilized()) engine.step();
+  }
+  result.interactions_used = engine.interactions();
+  result.stabilized = engine.stabilized();
+  return result;
+}
+
+}  // namespace
+
+HittingResult time_until_opinion_reaches(UsdEngine& engine, Opinion i, Count level,
+                                         Interactions max_interactions) {
+  PPSIM_CHECK(i < engine.num_opinions(), "opinion out of range");
+  // x_i changes by at most 1 per interaction.
+  return hit_level(engine, level, /*max_step_change=*/1, max_interactions,
+                   [i](const UsdEngine& e) { return e.opinion_count(i); });
+}
+
+HittingResult time_until_delta_reaches(UsdEngine& engine, Count level,
+                                       Interactions max_interactions) {
+  // One interaction moves at most one agent into an opinion (max +1) or two
+  // agents out of two opinions (min -1 each, affecting max and min by at
+  // most 1 each): |ΔΔmax| <= 2.
+  return hit_level(engine, level, /*max_step_change=*/2, max_interactions,
+                   [](const UsdEngine& e) { return e.delta_max(); });
+}
+
+HittingResult time_until_stable(UsdEngine& engine, Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  HittingResult result;
+  engine.run_until_stable(max_interactions);
+  result.stabilized = engine.stabilized();
+  result.hit = result.stabilized;
+  result.interactions_at_hit = engine.interactions();
+  result.interactions_used = engine.interactions();
+  return result;
+}
+
+UndecidedExcursion max_undecided_over_run(UsdEngine& engine,
+                                          Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  UndecidedExcursion result;
+  result.max_undecided = engine.undecided();
+  engine.run_observed(max_interactions, [&result](const UsdEngine& e) {
+    result.max_undecided = std::max(result.max_undecided, e.undecided());
+  });
+  result.interactions_used = engine.interactions();
+  result.stabilized = engine.stabilized();
+  return result;
+}
+
+}  // namespace ppsim

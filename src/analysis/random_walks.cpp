@@ -1,0 +1,95 @@
+#include "ppsim/analysis/random_walks.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+namespace {
+
+void check_rates(const WalkRates& r) {
+  PPSIM_CHECK(r.p >= 0.0 && r.p <= 1.0, "p must be a probability");
+  PPSIM_CHECK(r.q >= -r.p && r.q <= r.p, "q must lie in [-p, p]");
+}
+
+}  // namespace
+
+LazyWalk::LazyWalk(double p, double q, std::uint64_t seed)
+    : LazyWalk([p, q](std::int64_t) { return WalkRates{p, q}; }, seed) {}
+
+LazyWalk::LazyWalk(RateFn rates, std::uint64_t seed)
+    : rates_(std::move(rates)), rng_(seed) {
+  PPSIM_CHECK(static_cast<bool>(rates_), "rate function must be callable");
+}
+
+void LazyWalk::step() {
+  const WalkRates r = rates_(steps_);
+  check_rates(r);
+  const double u = rng_.canonical();
+  if (u >= 1.0 - r.p) {
+    // The walk moves; up with conditional probability (p+q)/(2p).
+    position_ += (u < 1.0 - r.p + (r.p + r.q) / 2.0) ? +1 : -1;
+  }
+  ++steps_;
+}
+
+bool LazyWalk::run_until_level(std::int64_t level, std::int64_t max_steps) {
+  PPSIM_CHECK(max_steps >= 0, "step budget must be non-negative");
+  while (steps_ < max_steps) {
+    if (position_ >= level) return true;
+    step();
+  }
+  return position_ >= level;
+}
+
+CoupledLazyWalks::CoupledLazyWalks(LazyWalk::RateFn rates, double q_cap,
+                                   std::uint64_t seed)
+    : rates_(std::move(rates)), q_cap_(q_cap), rng_(seed) {
+  PPSIM_CHECK(static_cast<bool>(rates_), "rate function must be callable");
+  PPSIM_CHECK(q_cap >= 0.0, "the uniform drift cap q must be non-negative");
+}
+
+void CoupledLazyWalks::step() {
+  // Exactly the four-interval construction from the paper's proof:
+  //   r <= 1-p(t)                         : both stay
+  //   .. <= 1-p(t) + (p(t)+q(t))/2        : both +1
+  //   .. <= 1-p(t) + (p(t)+q)/2           : Y -1, Ỹ +1
+  //   else                                : both -1
+  const WalkRates r = rates_(steps_);
+  check_rates(r);
+  PPSIM_CHECK(r.q <= q_cap_, "rate q(t) exceeds the uniform cap q");
+  const double u = rng_.canonical();
+  const double stay = 1.0 - r.p;
+  const double both_up = stay + (r.p + r.q) / 2.0;
+  const double split = stay + (r.p + q_cap_) / 2.0;
+  if (u <= stay) {
+    // both stay
+  } else if (u <= both_up) {
+    ++y_;
+    ++y_tilde_;
+  } else if (u <= split) {
+    --y_;
+    ++y_tilde_;
+  } else {
+    --y_;
+    --y_tilde_;
+  }
+  ++steps_;
+}
+
+EscapeEstimate estimate_escape_probability(double p, double q, std::int64_t level,
+                                           std::int64_t steps, std::int64_t walks,
+                                           std::uint64_t seed) {
+  PPSIM_CHECK(level > 0, "escape level must be positive");
+  PPSIM_CHECK(walks > 0, "need at least one walk");
+  EscapeEstimate est;
+  est.walks = walks;
+  SplitMix64 seeds(seed);
+  for (std::int64_t w = 0; w < walks; ++w) {
+    LazyWalk walk(p, q, seeds.next());
+    if (walk.run_until_level(level, steps)) ++est.escapes;
+  }
+  est.probability = static_cast<double>(est.escapes) / static_cast<double>(est.walks);
+  return est;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,43 @@
+#include "ppsim/analysis/scaling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+ScalingFit fit_scaling(const std::vector<ScalingPoint>& points) {
+  PPSIM_CHECK(!points.empty(), "need at least one scaling point");
+
+  std::vector<double> lb_x;
+  std::vector<double> ub_x;
+  std::vector<double> k_x;
+  std::vector<double> y;
+  lb_x.reserve(points.size());
+  ub_x.reserve(points.size());
+  k_x.reserve(points.size());
+  y.reserve(points.size());
+
+  double min_ratio = std::numeric_limits<double>::infinity();
+  for (const auto& pt : points) {
+    const double lb = bounds::theorem35_parallel_lower_bound(pt.n, pt.k);
+    const double ub = bounds::amir_parallel_upper_bound(pt.n, pt.k);
+    PPSIM_CHECK(lb > 0.0, "lower bound degenerates at this (n, k); pick k = o(sqrt(n)/log n)");
+    lb_x.push_back(lb);
+    ub_x.push_back(ub);
+    k_x.push_back(static_cast<double>(pt.k));
+    y.push_back(pt.measured_parallel_time);
+    min_ratio = std::min(min_ratio, pt.measured_parallel_time / lb);
+  }
+
+  ScalingFit fit;
+  fit.lower_bound_shape = proportional_fit(lb_x, y);
+  fit.upper_bound_shape = proportional_fit(ub_x, y);
+  if (points.size() >= 2) fit.affine_in_k = linear_fit(k_x, y);
+  fit.min_ratio_to_lower_bound = min_ratio;
+  return fit;
+}
+
+}  // namespace ppsim

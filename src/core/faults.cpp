@@ -1,0 +1,50 @@
+#include "ppsim/core/faults.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+UsdFaultInjector::UsdFaultInjector(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  PPSIM_CHECK(rate >= 0.0 && rate <= 1.0, "corruption rate must be in [0, 1]");
+}
+
+bool UsdFaultInjector::maybe_corrupt(UsdEngine& engine) {
+  if (rate_ == 0.0 || !rng_.bernoulli(rate_)) return false;
+
+  // Pick a uniformly random *agent* (weighted by current counts) and move
+  // it to a uniformly random state among the k+1 USD states.
+  const auto& counts = engine.counts();
+  const auto n = static_cast<std::uint64_t>(engine.population());
+  auto victim_index = static_cast<Count>(rng_.bounded(n));
+  State from = 0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (victim_index < counts[s]) {
+      from = static_cast<State>(s);
+      break;
+    }
+    victim_index -= counts[s];
+  }
+  const auto to = static_cast<State>(rng_.bounded(counts.size()));
+  if (to != from) {
+    engine.corrupt_agent(from, to);
+    ++corruptions_;
+    return true;
+  }
+  return false;
+}
+
+void UsdFaultInjector::run(UsdEngine& engine, Interactions interactions) {
+  PPSIM_CHECK(interactions >= 0, "interaction budget must be non-negative");
+  for (Interactions i = 0; i < interactions; ++i) {
+    engine.step();
+    maybe_corrupt(engine);
+  }
+}
+
+double consensus_quality(const UsdEngine& engine) {
+  return static_cast<double>(engine.max_opinion_count()) /
+         static_cast<double>(engine.population());
+}
+
+}  // namespace ppsim

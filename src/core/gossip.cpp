@@ -1,0 +1,62 @@
+#include "ppsim/core/gossip.hpp"
+
+#include <vector>
+
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/random_variates.hpp"
+
+namespace ppsim {
+
+GossipEngine::GossipEngine(const GossipRule& rule, Configuration initial,
+                           std::uint64_t seed)
+    : rule_(rule), config_(std::move(initial)), rng_(seed) {
+  PPSIM_CHECK(config_.num_states() == rule.num_states(),
+              "configuration size must match the rule's state space");
+  PPSIM_CHECK(config_.population() >= 2, "gossip needs at least two agents");
+}
+
+void GossipEngine::step_round() {
+  const std::size_t s = config_.num_states();
+  const auto& old_counts = config_.counts();
+
+  std::vector<Count> new_counts(s, 0);
+  std::vector<std::int64_t> weights(s);
+  for (State own = 0; own < s; ++own) {
+    const Count c = old_counts[own];
+    if (c == 0) continue;
+    // Partner-class weights exclude the observer itself.
+    for (State seen = 0; seen < s; ++seen) {
+      weights[seen] = old_counts[seen] - (seen == own ? 1 : 0);
+    }
+    const std::vector<std::int64_t> observed = multinomial(rng_, c, weights);
+    for (State seen = 0; seen < s; ++seen) {
+      if (observed[seen] == 0) continue;
+      new_counts[rule_.update(own, seen)] += observed[seen];
+    }
+  }
+
+  config_ = Configuration(std::move(new_counts));
+  ++rounds_;
+}
+
+bool GossipEngine::is_stable() const {
+  const std::size_t s = config_.num_states();
+  const auto& counts = config_.counts();
+  for (State own = 0; own < s; ++own) {
+    if (counts[own] == 0) continue;
+    for (State seen = 0; seen < s; ++seen) {
+      const Count visible = counts[seen] - (seen == own ? 1 : 0);
+      if (visible <= 0) continue;
+      if (rule_.update(own, seen) != own) return false;
+    }
+  }
+  return true;
+}
+
+GossipOutcome GossipEngine::run_until_stable(std::int64_t max_rounds) {
+  PPSIM_CHECK(max_rounds >= 0, "round budget must be non-negative");
+  while (rounds_ < max_rounds && !is_stable()) step_round();
+  return GossipOutcome{is_stable(), rounds_};
+}
+
+}  // namespace ppsim

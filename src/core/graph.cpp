@@ -1,0 +1,155 @@
+#include "ppsim/core/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+InteractionGraph::InteractionGraph(NodeId num_nodes,
+                                   std::vector<std::pair<NodeId, NodeId>> edges)
+    : num_nodes_(num_nodes), edges_(std::move(edges)) {
+  PPSIM_CHECK(num_nodes >= 2, "graph needs at least two nodes");
+  PPSIM_CHECK(!edges_.empty(), "graph needs at least one edge");
+  std::vector<std::size_t> deg(num_nodes, 0);
+  for (const auto& [a, b] : edges_) {
+    PPSIM_CHECK(a < num_nodes && b < num_nodes, "edge endpoint out of range");
+    PPSIM_CHECK(a != b, "self-loops are not allowed");
+    ++deg[a];
+    ++deg[b];
+  }
+  adj_offsets_.assign(num_nodes + 1, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) adj_offsets_[v + 1] = adj_offsets_[v] + deg[v];
+  adj_.resize(adj_offsets_.back());
+  std::vector<std::size_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const auto& [a, b] : edges_) {
+    adj_[cursor[a]++] = b;
+    adj_[cursor[b]++] = a;
+  }
+}
+
+const std::pair<NodeId, NodeId>& InteractionGraph::edge(std::size_t i) const {
+  PPSIM_CHECK(i < edges_.size(), "edge index out of range");
+  return edges_[i];
+}
+
+std::size_t InteractionGraph::degree(NodeId v) const {
+  PPSIM_CHECK(v < num_nodes_, "node out of range");
+  return adj_offsets_[v + 1] - adj_offsets_[v];
+}
+
+std::vector<NodeId> InteractionGraph::neighbors(NodeId v) const {
+  PPSIM_CHECK(v < num_nodes_, "node out of range");
+  return {adj_.begin() + static_cast<std::ptrdiff_t>(adj_offsets_[v]),
+          adj_.begin() + static_cast<std::ptrdiff_t>(adj_offsets_[v + 1])};
+}
+
+bool InteractionGraph::is_connected() const {
+  std::vector<char> seen(num_nodes_, 0);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  NodeId reached = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (std::size_t i = adj_offsets_[v]; i < adj_offsets_[v + 1]; ++i) {
+      const NodeId w = adj_[i];
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++reached;
+        frontier.push(w);
+      }
+    }
+  }
+  return reached == num_nodes_;
+}
+
+InteractionGraph InteractionGraph::complete(NodeId n) {
+  PPSIM_CHECK(n >= 2, "graph needs at least two nodes");
+  PPSIM_CHECK(n <= 4096, "explicit clique too large; use the counts-based engine");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  }
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::cycle(NodeId n) {
+  PPSIM_CHECK(n >= 3, "cycle needs at least three nodes");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::path(NodeId n) {
+  PPSIM_CHECK(n >= 2, "path needs at least two nodes");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::star(NodeId n) {
+  PPSIM_CHECK(n >= 2, "star needs at least two nodes");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::erdos_renyi(NodeId n, double p, Xoshiro256pp& rng) {
+  PPSIM_CHECK(n >= 2, "graph needs at least two nodes");
+  PPSIM_CHECK(p > 0.0 && p <= 1.0, "edge probability must be in (0, 1]");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (rng.bernoulli(p)) edges.emplace_back(a, b);
+    }
+  }
+  PPSIM_CHECK(!edges.empty(), "G(n,p) came out empty; increase p");
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::random_regular(NodeId n, std::size_t d,
+                                                  Xoshiro256pp& rng) {
+  PPSIM_CHECK(n >= 2 && d >= 1, "need n >= 2, d >= 1");
+  PPSIM_CHECK((static_cast<std::size_t>(n) * d) % 2 == 0, "n·d must be even");
+  PPSIM_CHECK(d < n, "degree must be below n");
+  // Configuration model: pair up half-edges uniformly; resample the whole
+  // matching if a self-loop appears (parallel edges are tolerated — they
+  // only reweight the scheduler slightly).
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    stubs.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    // Fisher-Yates pairing.
+    bool self_loop = false;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(stubs.size() / 2);
+    for (std::size_t remaining = stubs.size(); remaining > 0; remaining -= 2) {
+      const auto i = static_cast<std::size_t>(rng.bounded(remaining));
+      std::swap(stubs[i], stubs[remaining - 1]);
+      const auto j = static_cast<std::size_t>(rng.bounded(remaining - 1));
+      std::swap(stubs[j], stubs[remaining - 2]);
+      const NodeId a = stubs[remaining - 1];
+      const NodeId b = stubs[remaining - 2];
+      if (a == b) {
+        self_loop = true;
+        break;
+      }
+      edges.emplace_back(a, b);
+    }
+    if (!self_loop) return InteractionGraph(n, std::move(edges));
+  }
+  throw CheckFailure("configuration model failed to avoid self-loops in 100 attempts");
+}
+
+}  // namespace ppsim

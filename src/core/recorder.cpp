@@ -1,0 +1,42 @@
+#include "ppsim/core/recorder.hpp"
+
+#include <ostream>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+void TimeSeries::write_tsv(std::ostream& os) const {
+  os << "parallel_time";
+  for (const auto& name : channel_names) os << '\t' << name;
+  os << '\n';
+  for (std::size_t s = 0; s < parallel_time.size(); ++s) {
+    os << parallel_time[s];
+    for (const auto& channel : channels) os << '\t' << channel[s];
+    os << '\n';
+  }
+}
+
+Recorder::Recorder(Interactions stride) : stride_(stride) {
+  PPSIM_CHECK(stride > 0, "recorder stride must be positive");
+}
+
+void Recorder::add_channel(std::string name, Projection projection) {
+  PPSIM_CHECK(series_.parallel_time.empty(),
+              "channels must be added before the first sample");
+  series_.channel_names.push_back(std::move(name));
+  series_.channels.emplace_back();
+  projections_.push_back(std::move(projection));
+}
+
+void Recorder::sample(const Configuration& config, Interactions interactions) {
+  series_.parallel_time.push_back(parallel_time(interactions, config.population()));
+  for (std::size_t c = 0; c < projections_.size(); ++c) {
+    series_.channels[c].push_back(projections_[c](config, interactions));
+  }
+  next_sample_ = interactions + stride_;
+}
+
+TimeSeries Recorder::take_series() && { return std::move(series_); }
+
+}  // namespace ppsim

@@ -1,0 +1,101 @@
+#include "ppsim/core/simulator.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+Simulator::Simulator(const Protocol& protocol, Configuration initial,
+                     std::uint64_t seed, Engine engine)
+    : protocol_(protocol),
+      config_(std::move(initial)),
+      sampler_(config_),
+      rng_(seed),
+      stability_stride_(config_.population()) {
+  PPSIM_CHECK(config_.num_states() == protocol.num_states(),
+              "configuration size must match the protocol's state space");
+  if (engine == Engine::kTable) table_.emplace(protocol);
+}
+
+bool Simulator::step() {
+  const auto [a, b] = sampler_.sample(rng_);
+  const Transition t = table_ ? table_->apply(a, b) : protocol_.apply(a, b);
+  ++interactions_;
+  if (t.initiator == a && t.responder == b) return false;
+  if (t.initiator != a) {
+    config_.move_agent(a, t.initiator);
+    sampler_.move_agent(a, t.initiator);
+  }
+  if (t.responder != b) {
+    config_.move_agent(b, t.responder);
+    sampler_.move_agent(b, t.responder);
+  }
+  return true;
+}
+
+RunOutcome Simulator::run_until_stable(Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  while (interactions_ < max_interactions) {
+    if (is_stable()) break;
+    const Interactions chunk =
+        std::min(stability_stride_, max_interactions - interactions_);
+    for (Interactions i = 0; i < chunk; ++i) step();
+  }
+  RunOutcome out;
+  out.stabilized = is_stable();
+  out.interactions = interactions_;
+  out.consensus = consensus_output();
+  return out;
+}
+
+RunOutcome Simulator::run_until(
+    const std::function<bool(const Configuration&, Interactions)>& predicate,
+    Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  while (interactions_ < max_interactions &&
+         !predicate(config_, interactions_)) {
+    step();
+  }
+  RunOutcome out;
+  out.stabilized = is_stable();
+  out.interactions = interactions_;
+  out.consensus = consensus_output();
+  return out;
+}
+
+bool Simulator::is_stable() const {
+  if (table_) return table_->is_stable(config_);
+  // Virtual mode: same pair scan as TransitionTable::is_stable but through
+  // the vtable. O(S²) — acceptable because stability checks are strided.
+  const auto& counts = config_.counts();
+  const auto s = static_cast<State>(config_.num_states());
+  for (State a = 0; a < s; ++a) {
+    if (counts[a] == 0) continue;
+    for (State b = 0; b < s; ++b) {
+      if (counts[b] == 0) continue;
+      if (a == b && counts[a] < 2) continue;
+      const Transition t = protocol_.apply(a, b);
+      if (t.initiator != a || t.responder != b) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Opinion> Simulator::consensus_output() const {
+  std::optional<Opinion> agreed;
+  const auto& counts = config_.counts();
+  for (State st = 0; st < config_.num_states(); ++st) {
+    if (counts[st] == 0) continue;
+    const std::optional<Opinion> o = protocol_.output(st);
+    if (!o.has_value()) return std::nullopt;  // some agent is uncommitted
+    if (agreed.has_value() && *agreed != *o) return std::nullopt;
+    agreed = o;
+  }
+  return agreed;
+}
+
+void Simulator::set_stability_check_stride(Interactions stride) {
+  PPSIM_CHECK(stride > 0, "stability check stride must be positive");
+  stability_stride_ = stride;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,75 @@
+// Closed-form expressions from the paper, collected in one place so that
+// benches, tests and documentation all use identical formulas.
+//
+// All logarithms are natural logs: the paper's own Figure 1 uses
+// k = √n/(log n · log log n) = 27 for n = 10^6, which only holds for ln.
+#pragma once
+
+#include <cstdint>
+
+#include "ppsim/core/types.hpp"
+
+namespace ppsim::bounds {
+
+/// n/2 - n/(4k): the value u(t) settles around (Section 2; the dashed
+/// reference line in Figure 1 left).
+double usd_settle_point(Count n, std::size_t k);
+
+/// Lemma 3.1 ceiling: with probability >= 1 - n^{-4}, for all t <= n^4,
+///   u(t) <= n/2 - n/(4k) + 10n/(k-1)^2 + (20·13² + 1)·√(n ln n).
+/// Requires k >= 2 (the 10n/(k-1)² term).
+double lemma31_ceiling(Count n, std::size_t k);
+
+/// Theorem 3.5: parallel-time lower bound (k/25)·ln(√n/(k ln n)).
+/// Returns 0 when the log argument is <= 1 (bound degenerates).
+double theorem35_parallel_lower_bound(Count n, std::size_t k);
+
+/// Theorem 3.5 in interactions: n times the parallel bound.
+double theorem35_interaction_lower_bound(Count n, std::size_t k);
+
+/// Amir et al. (PODC'23) upper bound shape: k·ln n parallel time (constant
+/// factors are not specified by the theorem; benches fit them).
+double amir_parallel_upper_bound(Count n, std::size_t k);
+
+/// Maximum initial pairwise difference Theorem 3.5 tolerates:
+///   (√n/(k ln n))^{1/4} · √(n ln n).
+double theorem35_max_bias(Count n, std::size_t k);
+
+/// The standard "sufficient" bias √(n ln n) (cf. [6, 9]): with this much
+/// initial advantage the plurality opinion wins w.h.p.
+double whp_bias(Count n);
+
+/// Lemma 3.3: interaction budget kn/25 during which an opinion starting at
+/// <= 3n/(2k) stays below 2n/k w.h.p.
+double lemma33_interactions(Count n, std::size_t k);
+
+/// Lemma 3.4: interaction budget kn/24 during which the maximum pairwise
+/// difference does not double w.h.p.
+double lemma34_interactions(Count n, std::size_t k);
+
+/// The level 3n/(2k) (Lemma 3.3 start ceiling) and 2n/k (target).
+double lemma33_start_level(Count n, std::size_t k);
+double lemma33_target_level(Count n, std::size_t k);
+
+/// Number of induction epochs in Theorem 3.5:
+///   log2( n^{3/4} / (k^{1/2} √(n ln n) f(n)) ), f(n) = (√n/(k ln n))^{1/4}.
+/// Returns 0 if the argument is < 2.
+double theorem35_epochs(Count n, std::size_t k);
+
+/// Oliveto–Witt (Theorem A.1) escape-probability scale exp(-εℓ/(132 r²)).
+double oliveto_witt_escape_bound(double epsilon, double ell, double r);
+
+/// Bernstein tail (Theorem A.2): exp(-(t²/2) / (Σ E[X_i²] + M t / 3)).
+double bernstein_tail(double t, double variance_sum, double m);
+
+/// Lemma 3.2 escape bound for the lazy walk: after N <= T/(2q) steps,
+///   P[Y(N) >= T] <= exp(-(T²/8) / (N(p - q²) + 2T/3)).
+double lemma32_escape_bound(double t_level, double p, double q, double steps);
+
+/// Lemma 3.2 hypothesis: T >= 32((p - q²)/(2q) + 2/3)·ln n.
+bool lemma32_condition_holds(double t_level, double p, double q, Count n);
+
+/// The paper's Figure 1 parameter: k(n) = round(√n / (ln n · ln ln n)).
+std::size_t paper_k(Count n);
+
+}  // namespace ppsim::bounds

@@ -1,0 +1,45 @@
+// Convergence time vs stabilization time.
+//
+// The paper distinguishes the two (Section 1.2, footnote 2): convergence is
+// the first time the system holds a configuration with the correct output
+// property — which it might still leave; stabilization is when the output
+// can never change again. "In the Undecided State Dynamics, convergence and
+// stabilization are equivalent" (a committed monochromatic profile is
+// absorbing); for other protocols — e.g. quantized averaging, where every
+// agent can be on the correct sign long before the values stop moving — the
+// two differ, and lower bounds on stabilization say nothing about
+// convergence (the paper makes exactly this caveat about [22], [13]).
+//
+// This module measures both on a generic Simulator run:
+//   * convergence_time: first interaction after which every agent's output
+//     equals `target` (the first visit — the run may leave again);
+//   * final_convergence_time: the last such entry time (i.e. the first
+//     visit after which the output property never breaks again within the
+//     observed run) — equals stabilization for output-stable protocols;
+//   * stabilization_time: when the configuration became stable.
+#pragma once
+
+#include <optional>
+
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/core/types.hpp"
+
+namespace ppsim {
+
+struct ConvergenceReport {
+  bool stabilized = false;
+  std::optional<Opinion> final_output;         ///< consensus output if any
+  Interactions first_convergence = -1;         ///< -1 = never converged
+  Interactions final_convergence = -1;         ///< last entry into correctness
+  Interactions stabilization = -1;             ///< -1 = budget exhausted
+  Interactions output_breaks = 0;              ///< times correctness was lost
+};
+
+/// Runs `sim` until stabilization (or budget) while tracking when the
+/// all-agents-output-`target` property holds. The property is evaluated
+/// after every interaction; cost O(S) per check, so intended for
+/// small-to-moderate state spaces (baseline protocols).
+ConvergenceReport measure_convergence(Simulator& sim, Opinion target,
+                                      Interactions max_interactions);
+
+}  // namespace ppsim

@@ -1,0 +1,50 @@
+// First-hitting-time measurements over USD observables — the executable
+// counterparts of Lemmas 3.1, 3.3 and 3.4.
+//
+// Exactness of the skip optimization: per interaction, any single opinion
+// count changes by at most 1 and the max pairwise difference Δmax by at most
+// 2, so after observing value v the earliest interaction at which a level
+// L > v can be reached is ⌈(L-v)/c⌉ steps away (c = 1 or 2). Checking
+// exactly there cannot miss the first hit, which keeps the measured hitting
+// times exact while avoiding an O(k) scan per interaction.
+#pragma once
+
+#include <cstdint>
+
+#include "ppsim/core/types.hpp"
+#include "ppsim/protocols/usd.hpp"
+
+namespace ppsim {
+
+/// Result of a first-hitting measurement.
+struct HittingResult {
+  bool hit = false;
+  Interactions interactions_at_hit = 0;  ///< valid iff hit
+  Interactions interactions_used = 0;    ///< total interactions consumed
+  bool stabilized = false;               ///< run ended in a stable config
+};
+
+/// First time x_i reaches `level` (starting from the engine's current
+/// state). Consumes the engine's randomness; call on a fresh engine.
+HittingResult time_until_opinion_reaches(UsdEngine& engine, Opinion i, Count level,
+                                         Interactions max_interactions);
+
+/// First time Δmax = max_{i,j}(x_i - x_j) reaches `level` (Lemma 3.4's
+/// doubling event when level = 2·Δmax(0)).
+HittingResult time_until_delta_reaches(UsdEngine& engine, Count level,
+                                       Interactions max_interactions);
+
+/// Runs to stabilization (or budget); the Theorem 3.5 measurement.
+HittingResult time_until_stable(UsdEngine& engine, Interactions max_interactions);
+
+/// Tracks the maximum of u(t) over a run (Lemma 3.1's subject). Runs until
+/// stabilization or budget exhaustion and returns max_t u(t).
+struct UndecidedExcursion {
+  Count max_undecided = 0;
+  Interactions interactions_used = 0;
+  bool stabilized = false;
+};
+UndecidedExcursion max_undecided_over_run(UsdEngine& engine,
+                                          Interactions max_interactions);
+
+}  // namespace ppsim

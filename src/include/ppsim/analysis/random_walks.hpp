@@ -1,0 +1,92 @@
+// The lazy ±1 random walk of Lemma 3.2, plus the coupled dominating walk Ỹ
+// used in its proof.
+//
+// Lemma 3.2 (paper): let Y(0) = 0 and at each step
+//     Y(t+1) = Y(t)      with probability 1 - p(t),
+//     Y(t+1) = Y(t) + 1  with probability (p(t) + q(t))/2,
+//     Y(t+1) = Y(t) - 1  with probability (p(t) - q(t))/2,
+// with 0 <= p(t) <= p and -p(t) <= q(t) <= q. Then for
+// T >= 32((p - q²)/(2q) + 2/3)·ln n, w.p. >= 1 - n^{-2} the walk stays below
+// T for min{T/(2q), n²} steps.
+//
+// The proof couples Y to a walk Ỹ whose upward probability is inflated to
+// (p(t) + q)/2 in a way that guarantees Ỹ(t) >= Y(t) pointwise; Bernstein's
+// inequality then bounds Ỹ. `CoupledLazyWalks` implements exactly that
+// coupling (same shared uniform draw per step), so the domination invariant
+// is machine-checkable (tests) and escape probabilities of both processes
+// can be compared against the analytic bound (bench_lemma32_walks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+/// Step distribution parameters of the lazy walk at one instant.
+struct WalkRates {
+  double p = 0.0;  ///< probability of moving at all, in [0, 1]
+  double q = 0.0;  ///< drift: P(+1) - P(-1), in [-p, p]
+};
+
+/// The walk Y of Lemma 3.2 with (possibly time-varying) rates.
+class LazyWalk {
+ public:
+  using RateFn = std::function<WalkRates(std::int64_t step)>;
+
+  /// Constant-rate walk.
+  LazyWalk(double p, double q, std::uint64_t seed);
+  /// Time-varying rates (rates(t) must satisfy Lemma 3.2's constraints).
+  LazyWalk(RateFn rates, std::uint64_t seed);
+
+  std::int64_t position() const noexcept { return position_; }
+  std::int64_t steps() const noexcept { return steps_; }
+
+  void step();
+
+  /// Runs until the position reaches `level` or `max_steps` are done.
+  /// Returns true iff the level was reached.
+  bool run_until_level(std::int64_t level, std::int64_t max_steps);
+
+ private:
+  RateFn rates_;
+  Xoshiro256pp rng_;
+  std::int64_t position_ = 0;
+  std::int64_t steps_ = 0;
+};
+
+/// The coupling (Y, Ỹ) from the proof of Lemma 3.2: one shared uniform draw
+/// drives both walks such that Ỹ >= Y always. `q_cap` is the uniform bound q.
+class CoupledLazyWalks {
+ public:
+  CoupledLazyWalks(LazyWalk::RateFn rates, double q_cap, std::uint64_t seed);
+
+  std::int64_t y() const noexcept { return y_; }
+  std::int64_t y_tilde() const noexcept { return y_tilde_; }
+  std::int64_t steps() const noexcept { return steps_; }
+
+  void step();
+
+ private:
+  LazyWalk::RateFn rates_;
+  double q_cap_;
+  Xoshiro256pp rng_;
+  std::int64_t y_ = 0;
+  std::int64_t y_tilde_ = 0;
+  std::int64_t steps_ = 0;
+};
+
+/// Monte-Carlo estimate of P[max_{t <= steps} Y(t) >= level] over `walks`
+/// independent constant-rate walks.
+struct EscapeEstimate {
+  double probability = 0.0;
+  std::int64_t walks = 0;
+  std::int64_t escapes = 0;
+};
+EscapeEstimate estimate_escape_probability(double p, double q, std::int64_t level,
+                                           std::int64_t steps, std::int64_t walks,
+                                           std::uint64_t seed);
+
+}  // namespace ppsim

@@ -1,0 +1,63 @@
+// Fault injection for population protocols.
+//
+// The stabilization guarantees in the paper (and this library) are proved
+// for a fault-free scheduler. Real deployments — sensor networks, chemical
+// computers — see transient state corruption. This module injects faults
+// into a UsdEngine run so the protocol's *self-stabilization* behaviour can
+// be measured (bench_fault_tolerance):
+//
+//   * transient corruption: at rate `rate` per interaction, one uniformly
+//     random agent's state is replaced by a uniformly random state
+//     (opinion or ⊥). This models bit-flips / sensing glitches.
+//
+// Two facts worth measuring (and tested in faults_test.cpp):
+//   * under any positive corruption rate, USD never formally stabilizes
+//     (corruption can always revive an extinct opinion), but it holds a
+//     large *near-consensus* majority once the fault-free dynamics would
+//     have stabilized;
+//   * after corruption stops, USD stabilizes from whatever configuration
+//     the faults left behind — the dynamics themselves are self-stabilizing
+//     for plurality (modulo which opinion wins).
+//
+// The injector owns the fault randomness (separate stream from the engine's
+// scheduler, so fault patterns are reproducible independently of the
+// trajectory randomness).
+#pragma once
+
+#include <cstdint>
+
+#include "ppsim/core/types.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+class UsdFaultInjector {
+ public:
+  /// `rate` = expected corruptions per interaction, in [0, 1].
+  UsdFaultInjector(double rate, std::uint64_t seed);
+
+  double rate() const noexcept { return rate_; }
+  Interactions corruptions() const noexcept { return corruptions_; }
+
+  /// Possibly corrupts one agent of the engine (call once per interaction).
+  /// Returns true iff a corruption was injected.
+  bool maybe_corrupt(UsdEngine& engine);
+
+  /// Runs the engine for exactly `interactions` interactions with fault
+  /// injection interleaved (the engine's stabilized() state is ignored —
+  /// faults can always re-activate the dynamics).
+  void run(UsdEngine& engine, Interactions interactions);
+
+ private:
+  double rate_;
+  Xoshiro256pp rng_;
+  Interactions corruptions_ = 0;
+};
+
+/// Fraction of agents on the most common opinion (undecided agents count
+/// against it): the "near-consensus quality" metric used by the fault
+/// benches. 1.0 = perfect consensus.
+double consensus_quality(const UsdEngine& engine);
+
+}  // namespace ppsim

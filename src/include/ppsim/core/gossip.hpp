@@ -1,0 +1,73 @@
+// Synchronous Gossip (PULL) communication model.
+//
+// Section 1.2 of the paper contrasts the population protocol model with the
+// Gossip model: "in each discrete time step, every node randomly chooses
+// another node for interaction" and updates its own state once per round.
+// Becchetti et al. (SODA'15) analyzed USD in this model via the
+// monochromatic distance; Amir et al. note the two models "exhibit
+// significant qualitative differences". This engine lets us measure those
+// differences directly (bench_gossip_compare).
+//
+// Exactness without per-agent arrays: in a PULL round every node samples a
+// partner independently and uniformly among the other n-1 nodes, then
+// applies `update(own, seen)`. Conditioned on the current configuration, the
+// numbers of class-s nodes observing each class s' are jointly multinomial
+// with weights count(s') - [s'=s], so a round can be sampled exactly with
+// one multinomial draw per occupied class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+/// One-way (PULL) state update rule: the chooser moves to update(own, seen);
+/// the observed partner is unaffected.
+class GossipRule {
+ public:
+  virtual ~GossipRule() = default;
+  virtual std::size_t num_states() const = 0;
+  virtual State update(State own, State seen) const = 0;
+  virtual std::string name() const = 0;
+
+ protected:
+  GossipRule() = default;
+  GossipRule(const GossipRule&) = default;
+  GossipRule& operator=(const GossipRule&) = default;
+};
+
+struct GossipOutcome {
+  bool stabilized = false;
+  std::int64_t rounds = 0;
+};
+
+class GossipEngine {
+ public:
+  /// The rule must outlive the engine. Needs at least two agents.
+  GossipEngine(const GossipRule& rule, Configuration initial, std::uint64_t seed);
+
+  const Configuration& configuration() const noexcept { return config_; }
+  std::int64_t rounds() const noexcept { return rounds_; }
+
+  /// Executes one exact synchronous round.
+  void step_round();
+
+  /// True iff no node can change state in any future round (every
+  /// observable (own, seen) pair maps to own).
+  bool is_stable() const;
+
+  /// Runs until stable or `max_rounds` rounds have been executed in total.
+  GossipOutcome run_until_stable(std::int64_t max_rounds);
+
+ private:
+  const GossipRule& rule_;
+  Configuration config_;
+  Xoshiro256pp rng_;
+  std::int64_t rounds_ = 0;
+};
+
+}  // namespace ppsim

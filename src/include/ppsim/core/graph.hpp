@@ -1,0 +1,69 @@
+// Interaction graphs for the general population-protocol model.
+//
+// Angluin et al.'s original model (the paper's reference [7]) places the
+// population on a graph: the scheduler may only select endpoints of an edge.
+// The paper (like most of the literature) specializes to the clique — this
+// module provides the general model so the clique assumption itself can be
+// probed (bench_graph_topology: the lower-bound picture changes drastically
+// on sparse topologies, e.g. USD on a cycle mixes in Θ(n) parallel time
+// instead of polylog).
+//
+// Graphs are immutable after construction: a flat edge list for uniform
+// edge sampling plus CSR-style adjacency for neighbourhood queries.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+using NodeId = std::uint32_t;
+
+class InteractionGraph {
+ public:
+  /// Builds from an explicit undirected edge list (no self-loops; parallel
+  /// edges are allowed and weight the scheduler accordingly).
+  InteractionGraph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  const std::pair<NodeId, NodeId>& edge(std::size_t i) const;
+
+  /// Uniformly random edge (the scheduler's draw).
+  const std::pair<NodeId, NodeId>& sample_edge(Xoshiro256pp& rng) const noexcept {
+    return edges_[static_cast<std::size_t>(rng.bounded(edges_.size()))];
+  }
+
+  std::size_t degree(NodeId v) const;
+  /// Neighbors of v (with multiplicity for parallel edges).
+  std::vector<NodeId> neighbors(NodeId v) const;
+
+  /// BFS connectivity test — protocols can only stabilize globally on
+  /// connected graphs.
+  bool is_connected() const;
+
+  // ---- generators ------------------------------------------------------
+  static InteractionGraph complete(NodeId n);
+  static InteractionGraph cycle(NodeId n);
+  static InteractionGraph path(NodeId n);
+  static InteractionGraph star(NodeId n);  ///< node 0 is the hub
+  /// Erdős–Rényi G(n, p); NOT guaranteed connected — check is_connected().
+  static InteractionGraph erdos_renyi(NodeId n, double p, Xoshiro256pp& rng);
+  /// Random d-regular multigraph via the configuration model (self-loops
+  /// rejected by resampling; parallel edges possible). Requires n·d even.
+  static InteractionGraph random_regular(NodeId n, std::size_t d, Xoshiro256pp& rng);
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  // CSR adjacency built lazily at construction.
+  std::vector<std::size_t> adj_offsets_;
+  std::vector<NodeId> adj_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,44 @@
+// The abstract population protocol: a deterministic transition function
+// f : Σ² → Σ² over ordered (initiator, responder) pairs, plus an output map
+// γ : Σ → Γ ∪ {⊥}. This matches the formalisation in Section 1.1 of the
+// paper (El-Hayek, Elsässer, Schmid, PODC'25).
+//
+// Implementations must be stateless value-like objects: all dynamics live in
+// the Configuration, never in the protocol.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ppsim/core/types.hpp"
+
+namespace ppsim {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Cardinality of the state space Σ. May grow with n (e.g. USD uses k+1).
+  virtual std::size_t num_states() const = 0;
+
+  /// The deterministic transition function applied to an ordered pair.
+  /// Symmetric protocols simply ignore the ordering.
+  virtual Transition apply(State initiator, State responder) const = 0;
+
+  /// Output map γ. nullopt means the state has no committed output (e.g. the
+  /// undecided state ⊥ in USD, or value 0 in quantized averaging).
+  virtual std::optional<Opinion> output(State s) const = 0;
+
+  /// Protocol name for logs, tables and test diagnostics.
+  virtual std::string name() const = 0;
+
+  /// Debug name of a state; default "s<i>".
+  virtual std::string state_name(State s) const { return "s" + std::to_string(s); }
+
+ protected:
+  Protocol() = default;
+  Protocol(const Protocol&) = default;
+  Protocol& operator=(const Protocol&) = default;
+};
+
+}  // namespace ppsim

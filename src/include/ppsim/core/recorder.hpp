@@ -1,0 +1,59 @@
+// Time-series recording for simulation runs.
+//
+// A Recorder owns a set of named channels, each a projection of the current
+// configuration (plus the interaction counter) to a double. Engines call
+// `maybe_sample` after every interaction; the recorder keeps one sample per
+// `stride` interactions, which is how the Figure 1 benches obtain the series
+// the paper plots without paying per-step overhead.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/types.hpp"
+
+namespace ppsim {
+
+/// A recorded multi-channel time series.
+struct TimeSeries {
+  std::vector<std::string> channel_names;
+  std::vector<double> parallel_time;            ///< sample times (interactions / n)
+  std::vector<std::vector<double>> channels;    ///< channels[c][sample]
+
+  std::size_t num_samples() const noexcept { return parallel_time.size(); }
+
+  /// Writes "time <tab> ch0 <tab> ch1 ..." rows with a header line.
+  void write_tsv(std::ostream& os) const;
+};
+
+class Recorder {
+ public:
+  using Projection = std::function<double(const Configuration&, Interactions)>;
+
+  /// Samples once every `stride` interactions (the sample at interaction 0
+  /// is always taken).
+  explicit Recorder(Interactions stride);
+
+  void add_channel(std::string name, Projection projection);
+
+  /// Called by engines after each interaction; cheap when not sampling.
+  void maybe_sample(const Configuration& config, Interactions interactions) {
+    if (interactions >= next_sample_) sample(config, interactions);
+  }
+
+  /// Forces a sample now (used to capture the final configuration).
+  void sample(const Configuration& config, Interactions interactions);
+
+  TimeSeries take_series() &&;
+  const TimeSeries& series() const noexcept { return series_; }
+
+ private:
+  Interactions stride_;
+  Interactions next_sample_ = 0;
+  std::vector<Projection> projections_;
+  TimeSeries series_;
+};
+
+}  // namespace ppsim

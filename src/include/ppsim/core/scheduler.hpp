@@ -1,0 +1,45 @@
+// The uniform random scheduler on the clique.
+//
+// At each discrete time step the scheduler picks an ordered pair of two
+// *distinct* agents uniformly at random (Section 1.1 of the paper: "two nodes
+// are selected for interaction, chosen uniformly at random (without
+// replacement)"). With anonymous agents a configuration is just a count
+// vector, so pair selection reduces to sampling the initiator's state with
+// probability count(s)/n and the responder's state from the remaining n-1
+// agents. A Fenwick tree over the counts makes both draws O(log S).
+#pragma once
+
+#include <utility>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/fenwick.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+class PairSampler {
+ public:
+  /// Builds the sampler over the configuration's counts.
+  /// Requires a population of at least two agents.
+  explicit PairSampler(const Configuration& config);
+
+  /// Draws an ordered pair of states of two distinct uniformly random
+  /// agents. Does not modify the tracked counts.
+  std::pair<State, State> sample(Xoshiro256pp& rng) noexcept;
+
+  /// Keeps the sampler in sync after an agent moves between states.
+  void move_agent(State from, State to) noexcept {
+    if (from == to) return;
+    weights_.add(from, -1);
+    weights_.add(to, +1);
+  }
+
+  Count population() const noexcept { return population_; }
+
+ private:
+  FenwickTree weights_;
+  Count population_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,36 @@
+// Shared vocabulary types for the population protocol framework.
+//
+// Conventions used across the library:
+//   * `State`  — index into a protocol's state space Σ = {0, ..., S-1}.
+//   * `Opinion` — index into the output alphabet Γ = {0, ..., k-1}.
+//   * `Count`  — signed 64-bit agent counts (signed so that intermediate
+//     arithmetic like drift deltas never hits unsigned wraparound; see Core
+//     Guidelines ES.106).
+//   * `Interactions` — number of scheduler steps; parallel time is
+//     interactions / n, as in the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace ppsim {
+
+using State = std::uint32_t;
+using Opinion = std::uint32_t;
+using Count = std::int64_t;
+using Interactions = std::int64_t;
+
+/// Result of applying the transition function f : Σ² → Σ² to an ordered pair
+/// (initiator, responder).
+struct Transition {
+  State initiator;
+  State responder;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// Converts interactions to parallel time for a population of size n.
+constexpr double parallel_time(Interactions interactions, Count n) {
+  return static_cast<double>(interactions) / static_cast<double>(n);
+}
+
+}  // namespace ppsim

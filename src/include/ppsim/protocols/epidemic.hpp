@@ -1,0 +1,33 @@
+// One-way epidemic (broadcast): an informed agent infects any uninformed
+// partner. Completes in Θ(n log n) interactions (Θ(log n) parallel time)
+// w.h.p. — the basic spreading primitive underlying phase clocks and the
+// paper's trivial Ω(log n) lower bound ("in o(log n) parallel time, w.h.p.
+// there are nodes that have not interacted at all").
+//
+//     (I, S) -> (I, I),   (S, I) -> (I, I),   everything else null.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/protocol.hpp"
+
+namespace ppsim {
+
+class Epidemic final : public Protocol {
+ public:
+  static constexpr State kSusceptible = 0;
+  static constexpr State kInfected = 1;
+
+  std::size_t num_states() const override { return 2; }
+  Transition apply(State initiator, State responder) const override;
+  std::optional<Opinion> output(State s) const override;
+  std::string name() const override { return "epidemic"; }
+  std::string state_name(State s) const override;
+
+  /// `sources` infected agents among n total.
+  static Configuration initial(Count n, Count sources);
+};
+
+}  // namespace ppsim

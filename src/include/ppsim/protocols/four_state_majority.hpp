@@ -1,0 +1,48 @@
+// The classic four-state exact majority protocol (Draief & Vojnović,
+// INFOCOM'10; Mertzios et al., ICALP'14) — the paper's related-work baseline
+// for constant-state exact majority.
+//
+// States: strong A, strong B, weak a, weak b. Unordered transition rules:
+//     (A, B) -> (a, b)     two strong opposites cancel into weak,
+//     (A, b) -> (A, a)     a strong agent flips opposing weak agents,
+//     (B, a) -> (B, b)
+//     everything else is a null transition.
+//
+// The difference of strong counts #A - #B is invariant, so with any nonzero
+// initial difference the initial majority always wins (exact majority) —
+// but stabilization takes Θ(n log n / |d|) interactions in expectation,
+// which is why large-bias preprocessing (cf. Alistarh et al.) matters.
+// With a perfect tie the population ends in a stable mixed {a, b}
+// configuration with no consensus; callers observe winner == nullopt.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/protocol.hpp"
+
+namespace ppsim {
+
+class FourStateMajority final : public Protocol {
+ public:
+  static constexpr State kStrongA = 0;
+  static constexpr State kStrongB = 1;
+  static constexpr State kWeakA = 2;
+  static constexpr State kWeakB = 3;
+
+  /// Opinion 0 = "A wins", opinion 1 = "B wins".
+  static constexpr Opinion kOpinionA = 0;
+  static constexpr Opinion kOpinionB = 1;
+
+  std::size_t num_states() const override { return 4; }
+  Transition apply(State initiator, State responder) const override;
+  std::optional<Opinion> output(State s) const override;
+  std::string name() const override { return "four-state-majority"; }
+  std::string state_name(State s) const override;
+
+  /// Initial configuration with `a` strong-A agents and `b` strong-B agents.
+  static Configuration initial(Count a, Count b);
+};
+
+}  // namespace ppsim

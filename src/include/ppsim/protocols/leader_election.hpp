@@ -1,0 +1,38 @@
+// Fratricide leader election: every leader that meets another leader demotes
+// one of the two to follower; eventually exactly one leader survives.
+//
+//     (L, L) -> (L, F),    everything else null.
+//
+// This is the textbook Θ(n) parallel-time leader election (the survey
+// literature the paper cites treats leader election alongside majority as
+// the canonical population-protocol problems). In this library it serves
+// as (a) a framework test with an easily checkable stable configuration and
+// (b) the bootstrap for the leader-driven phase clock.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/protocol.hpp"
+
+namespace ppsim {
+
+class LeaderElection final : public Protocol {
+ public:
+  static constexpr State kFollower = 0;
+  static constexpr State kLeader = 1;
+
+  std::size_t num_states() const override { return 2; }
+  Transition apply(State initiator, State responder) const override;
+  /// Output: 1 for leader, 0 for follower (an "am I the leader?" bit, not a
+  /// consensus value — stable configurations are intentionally mixed).
+  std::optional<Opinion> output(State s) const override;
+  std::string name() const override { return "leader-election"; }
+  std::string state_name(State s) const override;
+
+  /// Everyone starts as a leader (the standard uniform start).
+  static Configuration initial(Count n);
+};
+
+}  // namespace ppsim

@@ -1,0 +1,60 @@
+// Leader-driven phase clock (in the spirit of Angluin, Aspnes & Eisenstat's
+// leader-synchronized protocols, which the paper cites as [8]).
+//
+// One designated leader carries the authoritative phase p ∈ Z_P. Followers
+// learn newer phases epidemically; the leader advances the clock only after
+// the current phase has propagated back to it:
+//
+//   follower ⊕ x      : the agent that is behind (in the windowed ring
+//                       order) adopts the newer phase;
+//   leader  ⊕ follower: if the follower has caught up to the leader's
+//                       phase, the leader increments (mod P), otherwise the
+//                       follower adopts the leader's phase.
+//
+// Each phase therefore lasts roughly one epidemic, i.e. Θ(log n) parallel
+// time w.h.p. — long enough that phase parity can gate alternating
+// computation stages (see SynchronizedUsd). The ring comparison uses a
+// window of P/2, so P must be large enough that honest phase skew (O(1)
+// phases) never wraps; P >= 4 is enforced.
+//
+// State encoding: state = phase            for followers,
+//                 state = P + phase        for the leader.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/protocol.hpp"
+
+namespace ppsim {
+
+class PhaseClock final : public Protocol {
+ public:
+  explicit PhaseClock(std::size_t num_phases);
+
+  std::size_t num_phases() const noexcept { return phases_; }
+  std::size_t num_states() const override { return 2 * phases_; }
+
+  bool is_leader(State s) const;
+  std::size_t phase(State s) const;
+  State encode(bool leader, std::size_t phase) const;
+
+  /// True iff `p` is strictly ahead of `q` in the windowed ring order
+  /// (distance (p - q) mod P in [1, P/2)).
+  bool ahead(std::size_t p, std::size_t q) const;
+
+  Transition apply(State initiator, State responder) const override;
+  /// Output = phase parity (the bit consumers of the clock read).
+  std::optional<Opinion> output(State s) const override;
+  std::string name() const override;
+  std::string state_name(State s) const override;
+
+  /// One leader and n-1 followers, all at phase 0.
+  Configuration initial(Count n) const;
+
+ private:
+  std::size_t phases_;
+};
+
+}  // namespace ppsim

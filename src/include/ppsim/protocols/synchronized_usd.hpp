@@ -1,0 +1,66 @@
+// Phase-gated ("synchronized") Undecided State Dynamics.
+//
+// The paper's conclusion asks at which point extra memory plus partial
+// synchronization can break the Ω(k log(√n/(k log n))) barrier, pointing at
+// the synchronized USD of Bankhamer et al. (SODA'22, [9]) which reaches
+// consensus in O(log² n) parallel time with O(k log n) states.
+//
+// This protocol is a *documented simplification* of that idea (DESIGN.md §5):
+// agents carry a product state (phase-clock component × USD component) and
+// the phase parity gates which USD rule may fire:
+//   * parity 0 ("cancellation"): only clashes (i, j) -> (⊥, ⊥) fire;
+//   * parity 1 ("recruitment"):  only adoptions (s, ⊥) -> (s, s) fire;
+// and the USD rule fires only when both agents agree on the parity, which is
+// the case for all but a vanishing fraction of interactions once the clock
+// has burned in. The clock is the leader-driven PhaseClock; the number of
+// clock phases P controls how long each gated stage lasts (Θ(log n) parallel
+// time per phase).
+//
+// State encoding: state = clock_state * (k + 1) + usd_state, with usd_state
+// as in UndecidedStateDynamics (0 = ⊥, i+1 = opinion i).
+//
+// Because the clock never stops ticking, no configuration is ever stable in
+// the formal sense; the interesting event is *opinion consensus* (every
+// agent's USD component holds the same opinion), exposed via
+// `consensus_opinion`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/protocol.hpp"
+#include "ppsim/protocols/phase_clock.hpp"
+
+namespace ppsim {
+
+class SynchronizedUsd final : public Protocol {
+ public:
+  SynchronizedUsd(std::size_t k, std::size_t num_phases);
+
+  std::size_t num_opinions() const noexcept { return k_; }
+  const PhaseClock& clock() const noexcept { return clock_; }
+
+  std::size_t num_states() const override;
+  Transition apply(State initiator, State responder) const override;
+  std::optional<Opinion> output(State s) const override;
+  std::string name() const override;
+  std::string state_name(State s) const override;
+
+  State encode(State clock_state, State usd_state) const;
+  State clock_part(State s) const;
+  State usd_part(State s) const;
+
+  /// Initial configuration: one leader; opinion_counts[i] agents hold
+  /// opinion i (the leader holds opinion of the first nonzero class).
+  Configuration initial(const std::vector<Count>& opinion_counts) const;
+
+  /// If every agent's USD component is the same opinion, returns it.
+  std::optional<Opinion> consensus_opinion(const Configuration& config) const;
+
+ private:
+  std::size_t k_;
+  PhaseClock clock_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,55 @@
+// 3-majority dynamics in the synchronous Gossip model: each round every
+// agent samples three uniformly random other agents and adopts the majority
+// opinion among the three samples; if all three differ, it adopts the first
+// sample. A classic fast plurality-consensus dynamic, included as a Gossip
+// baseline alongside USD.
+//
+// Because the update depends on a 3-sample multiset, the exact counts-only
+// multinomial trick used by GossipEngine does not scale in k; this protocol
+// therefore ships its own per-agent engine (O(n) per round), which is
+// plenty for the n ≤ 10^6 and O(log n)-round regimes it is used in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+class ThreeMajorityEngine {
+ public:
+  /// opinion_counts[i] agents start with opinion i. Population >= 4 (an
+  /// agent needs three distinct partners).
+  ThreeMajorityEngine(const std::vector<Count>& opinion_counts, std::uint64_t seed);
+
+  Count population() const noexcept { return static_cast<Count>(agents_.size()); }
+  std::size_t num_opinions() const noexcept { return k_; }
+  std::int64_t rounds() const noexcept { return rounds_; }
+
+  Count opinion_count(Opinion i) const;
+  const std::vector<Count>& counts() const noexcept { return counts_; }
+
+  bool consensus() const noexcept;
+  std::optional<Opinion> winner() const;
+
+  /// Executes one synchronous round (all agents update simultaneously).
+  void step_round();
+
+  /// Runs until consensus or the round budget is exhausted; true on consensus.
+  bool run_until_consensus(std::int64_t max_rounds);
+
+ private:
+  Opinion sample_other(std::size_t self) noexcept;
+
+  std::size_t k_;
+  std::vector<Opinion> agents_;
+  std::vector<Opinion> next_;
+  std::vector<Count> counts_;
+  Xoshiro256pp rng_;
+  std::int64_t rounds_ = 0;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,54 @@
+// Undecided State Dynamics in the synchronous Gossip (PULL) model, as
+// analyzed by Becchetti, Clementi, Natale, Pasquale & Silvestri (SODA'15),
+// whose stabilization bound is O(md(c) · log n) rounds w.h.p., where md(c)
+// is the *monochromatic distance* of the starting configuration.
+//
+// One-way update (only the chooser moves):
+//     ⊥  sees opinion j          -> j       (adopt)
+//     i  sees opinion j ≠ i      -> ⊥       (clash)
+//     anything else              -> no change.
+//
+// The paper (Section 1.2) stresses that USD behaves *qualitatively
+// differently* under the two schedulers — in the population model an agent
+// can change opinion Ω(log n) times per parallel round while a constant
+// fraction is never selected; in Gossip every agent updates exactly once per
+// round. bench_gossip_compare measures that difference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/gossip.hpp"
+#include "ppsim/core/types.hpp"
+
+namespace ppsim {
+
+class UsdGossipRule final : public GossipRule {
+ public:
+  static constexpr State kUndecided = 0;
+
+  explicit UsdGossipRule(std::size_t k);
+
+  std::size_t num_opinions() const noexcept { return k_; }
+  std::size_t num_states() const override { return k_ + 1; }
+  State update(State own, State seen) const override;
+  std::string name() const override;
+
+  /// Builds the k+1-state configuration from per-opinion counts (+ ⊥ count).
+  Configuration initial(const std::vector<Count>& opinion_counts,
+                        Count undecided = 0) const;
+
+ private:
+  std::size_t k_;
+};
+
+/// Monochromatic distance of a configuration (Becchetti et al., SODA'15):
+///     md(c) = Σ_i (x_i / x_max)²,
+/// where the sum ranges over all opinions and x_max is the largest opinion
+/// count. md ∈ [1, k]: 1 for a monochromatic opinion profile, k when all
+/// opinions are equally strong. Undecided agents do not contribute.
+/// Throws CheckFailure if every opinion count is zero.
+double monochromatic_distance(const std::vector<Count>& opinion_counts);
+
+}  // namespace ppsim

@@ -1,0 +1,52 @@
+// Minimal terminal line-plot renderer, used by the Figure 1 benches and the
+// examples so the reproduced figures can be inspected without leaving the
+// console. Multiple series share one canvas; each series gets a glyph and a
+// legend entry. Also supports horizontal reference lines (e.g. the paper's
+// y = n/2 - n/4k guide line).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppsim {
+
+class AsciiPlot {
+ public:
+  /// Canvas of `width` x `height` character cells.
+  AsciiPlot(std::size_t width, std::size_t height);
+
+  /// Adds a named series. x and y must have equal, nonzero length.
+  void add_series(const std::string& name, char glyph, const std::vector<double>& x,
+                  const std::vector<double>& y);
+
+  /// Adds a horizontal reference line at y = value.
+  void add_hline(const std::string& name, char glyph, double value);
+
+  /// Optional axis labels.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Renders the canvas with axes, tick labels and a legend.
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char glyph;
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+  struct HLine {
+    std::string name;
+    char glyph;
+    double value;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::string x_label_ = "x";
+  std::string y_label_ = "y";
+  std::vector<Series> series_;
+  std::vector<HLine> hlines_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,63 @@
+// Invariant checking and safe narrowing helpers.
+//
+// The library validates preconditions at API boundaries with PPSIM_CHECK
+// (always on; simulation state is cheap to validate relative to the work it
+// guards) and uses PPSIM_ASSERT for internal consistency checks that are
+// compiled out in release builds.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace ppsim {
+
+/// Thrown when a PPSIM_CHECK precondition fails. Deriving from
+/// std::invalid_argument keeps call sites testable with EXPECT_THROW.
+class CheckFailure : public std::invalid_argument {
+ public:
+  explicit CheckFailure(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "PPSIM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+
+/// Always-on precondition check. Usage:
+///   PPSIM_CHECK(n > 1, "population must have at least two agents");
+#define PPSIM_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) ::ppsim::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Debug-only internal assertion (compiled out with NDEBUG).
+#ifdef NDEBUG
+#define PPSIM_ASSERT(expr) ((void)0)
+#else
+#define PPSIM_ASSERT(expr) PPSIM_CHECK(expr, "internal assertion")
+#endif
+
+/// Checked narrowing conversion in the spirit of gsl::narrow: throws if the
+/// round-trip changes the value (including sign changes).
+template <typename To, typename From>
+constexpr To narrow_cast(From value) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>);
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      (std::is_signed_v<From> != std::is_signed_v<To> && ((value < From{}) != (result < To{})))) {
+    throw CheckFailure("narrow_cast changed the value");
+  }
+  return result;
+}
+
+}  // namespace ppsim

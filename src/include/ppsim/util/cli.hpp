@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the bench and example binaries.
+// Supports --name value and --name=value forms plus boolean switches.
+// Unknown flags are an error (typos in experiment parameters must not pass
+// silently). Every bench prints its resolved parameters so recorded outputs
+// are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppsim {
+
+class Cli {
+ public:
+  /// Parses argv; throws CheckFailure on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Typed getters with defaults. Each call registers the flag as known;
+  /// call them all before validate_no_unknown_flags().
+  std::int64_t get_int(const std::string& name, std::int64_t default_value);
+  double get_double(const std::string& name, double default_value);
+  std::string get_string(const std::string& name, const std::string& default_value);
+  bool get_bool(const std::string& name, bool default_value);
+
+  /// True if the flag was present on the command line.
+  bool has(const std::string& name) const;
+
+  /// Throws if the command line contained flags never requested by getters.
+  void validate_no_unknown_flags() const;
+
+  const std::string& program_name() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> known_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,93 @@
+// Fenwick (binary indexed) tree over non-negative integer weights, with
+// weighted-category sampling.
+//
+// This is the core data structure of the exact interaction engine: a
+// population configuration is a vector of per-state counts, and drawing an
+// agent uniformly at random is equivalent to drawing a category with
+// probability proportional to its count. The Fenwick tree supports
+//   * point update of a count        O(log S)
+//   * prefix sum                     O(log S)
+//   * inverse-CDF lookup (sampling)  O(log S)
+// where S is the number of states — so one interaction costs O(log S)
+// regardless of the population size n.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+/// Fenwick tree specialised to signed 64-bit totals (counts never exceed the
+/// population size, and intermediate deltas may be negative).
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+
+  /// Builds a tree of `size` categories, all zero.
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}
+
+  /// Builds a tree from initial per-category weights in O(S).
+  explicit FenwickTree(const std::vector<std::int64_t>& weights)
+      : tree_(weights.size() + 1, 0) {
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      PPSIM_CHECK(weights[i] >= 0, "Fenwick weights must be non-negative");
+      tree_[i + 1] += weights[i];
+      const std::size_t up = (i + 1) + ((i + 1) & -(i + 1));
+      if (up < tree_.size()) tree_[up] += tree_[i + 1];
+    }
+  }
+
+  std::size_t size() const noexcept { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  /// Adds `delta` to category `i`. The resulting weight must stay >= 0;
+  /// enforced only in debug builds (hot path).
+  void add(std::size_t i, std::int64_t delta) noexcept {
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & -j) tree_[j] += delta;
+  }
+
+  /// Sum of weights in categories [0, i).
+  std::int64_t prefix_sum(std::size_t i) const noexcept {
+    std::int64_t s = 0;
+    for (std::size_t j = i; j > 0; j -= j & -j) s += tree_[j];
+    return s;
+  }
+
+  /// Weight of a single category.
+  std::int64_t weight(std::size_t i) const noexcept {
+    return prefix_sum(i + 1) - prefix_sum(i);
+  }
+
+  /// Total weight over all categories.
+  std::int64_t total() const noexcept { return prefix_sum(size()); }
+
+  /// Returns the smallest category c such that prefix_sum(c+1) > target,
+  /// i.e. maps target in [0, total) to a category by inverse CDF.
+  /// Precondition: 0 <= target < total().
+  std::size_t find(std::int64_t target) const noexcept {
+    std::size_t pos = 0;
+    std::size_t mask = highest_pow2();
+    while (mask > 0) {
+      const std::size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+      mask >>= 1;
+    }
+    return pos;  // categories are 0-based; pos counts full prefix blocks
+  }
+
+ private:
+  std::size_t highest_pow2() const noexcept {
+    std::size_t p = 1;
+    while ((p << 1) < tree_.size()) p <<= 1;
+    return p;
+  }
+
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,40 @@
+// Exact samplers for the discrete distributions the synchronous engines and
+// workload generators need: binomial, multinomial, hypergeometric.
+//
+// Exactness matters: the Gossip engine's correctness proof (tests/
+// gossip_test.cpp) relies on each round being distributed *exactly* as the
+// model prescribes, so approximations (normal/Poisson) are not used here.
+// Binomial sampling delegates to std::binomial_distribution, which libstdc++
+// implements exactly; multinomial and hypergeometric are reduced to
+// sequential conditional binomial/inverse-CDF draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+/// Exact Binomial(trials, p) sample. p is clamped to [0, 1].
+std::int64_t binomial(Xoshiro256pp& rng, std::int64_t trials, double p);
+
+/// Exact multinomial: partitions `trials` into weights.size() buckets where
+/// bucket i receives each trial independently with probability
+/// weights[i] / sum(weights). Implemented as sequential conditional
+/// binomials, so the result is an exact multinomial sample.
+/// Throws CheckFailure on negative weights or zero total with trials > 0.
+std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,
+                                      const std::vector<double>& weights);
+
+/// Convenience overload with integer weights (counts).
+std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,
+                                      const std::vector<std::int64_t>& weights);
+
+/// Exact hypergeometric: number of "successes" when drawing `draws` items
+/// without replacement from a pool of `successes` + `failures` items.
+/// Implemented by inverse-CDF walk from the mode-adjacent tail; O(result).
+std::int64_t hypergeometric(Xoshiro256pp& rng, std::int64_t successes,
+                            std::int64_t failures, std::int64_t draws);
+
+}  // namespace ppsim

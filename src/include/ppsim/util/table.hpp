@@ -1,0 +1,56 @@
+// Tabular output used by every bench harness: the same rows can be emitted
+// as machine-readable TSV (for plotting) and as an aligned console table
+// (for eyeballing). Cells are stored as strings; numeric helpers format with
+// stable precision so diffs between runs are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppsim {
+
+/// Fixed-precision formatting helpers (used for table cells and logs).
+std::string format_double(double v, int precision = 4);
+std::string format_sci(double v, int precision = 3);
+std::string format_int(std::int64_t v);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Appends a row; must have exactly num_columns() cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: starts a row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(std::string v);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(double v, int precision = 4);
+    /// Commits the row (checks the cell count).
+    void done();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Writes tab-separated values with a header line.
+  void write_tsv(std::ostream& os) const;
+
+  /// Writes an aligned, human-readable table.
+  void write_pretty(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,71 @@
+#include "ppsim/protocols/averaging_majority.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+AveragingMajority::AveragingMajority(Count m) : m_(m) {
+  PPSIM_CHECK(m >= 1, "resolution must be at least 1");
+}
+
+Count AveragingMajority::state_value(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  return static_cast<Count>(s) - m_;
+}
+
+State AveragingMajority::value_state(Count v) const {
+  PPSIM_CHECK(v >= -m_ && v <= m_, "value out of range");
+  return static_cast<State>(v + m_);
+}
+
+Transition AveragingMajority::apply(State initiator, State responder) const {
+  const Count v1 = state_value(initiator);
+  const Count v2 = state_value(responder);
+  const Count sum = v1 + v2;
+  // Floor division toward -inf (C++ / truncates toward zero).
+  const Count lo = sum >= 0 ? sum / 2 : -((-sum + 1) / 2);
+  const Count hi = sum - lo;
+  // Agents are anonymous: if the resulting multiset equals the input
+  // multiset, report a null transition so stability detection terminates
+  // (otherwise {v, v+1} pairs would "swap" forever).
+  if ((hi == v1 && lo == v2) || (hi == v2 && lo == v1)) {
+    return {initiator, responder};
+  }
+  return {value_state(hi), value_state(lo)};
+}
+
+std::optional<Opinion> AveragingMajority::output(State s) const {
+  const Count v = state_value(s);
+  if (v > 0) return kOpinionA;
+  if (v < 0) return kOpinionB;
+  return std::nullopt;
+}
+
+std::string AveragingMajority::name() const {
+  return "averaging-majority-m" + std::to_string(m_);
+}
+
+std::string AveragingMajority::state_name(State s) const {
+  std::string name(1, 'v');
+  name += std::to_string(state_value(s));
+  return name;
+}
+
+Configuration AveragingMajority::initial(Count a, Count b) const {
+  PPSIM_CHECK(a >= 0 && b >= 0, "initial counts must be non-negative");
+  std::vector<Count> counts(num_states(), 0);
+  counts[value_state(m_)] = a;
+  counts[value_state(-m_)] = b;
+  return Configuration(std::move(counts));
+}
+
+Count AveragingMajority::value_sum(const Configuration& config) const {
+  PPSIM_CHECK(config.num_states() == num_states(), "configuration mismatch");
+  Count sum = 0;
+  for (State s = 0; s < num_states(); ++s) {
+    sum += config.count(s) * state_value(s);
+  }
+  return sum;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,110 @@
+#include "ppsim/protocols/cancel_duplicate.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+CancellationDuplication::CancellationDuplication(std::size_t max_exponent)
+    : max_exp_(max_exponent) {
+  PPSIM_CHECK(max_exponent <= 62, "weights must fit a signed 64-bit integer");
+}
+
+State CancellationDuplication::token_state(bool positive, std::size_t exp) const {
+  PPSIM_CHECK(exp <= max_exp_, "exponent out of range");
+  return static_cast<State>(3 + 2 * exp + (positive ? 0 : 1));
+}
+
+bool CancellationDuplication::is_token(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  return s >= 3;
+}
+
+bool CancellationDuplication::is_positive(State s) const {
+  PPSIM_CHECK(is_token(s), "blanks have no sign bit");
+  return (s - 3) % 2 == 0;
+}
+
+std::size_t CancellationDuplication::exponent(State s) const {
+  PPSIM_CHECK(is_token(s), "blanks have no exponent");
+  return (s - 3) / 2;
+}
+
+Count CancellationDuplication::signed_weight(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  if (!is_token(s)) return 0;
+  const Count magnitude = Count{1} << exponent(s);
+  return is_positive(s) ? magnitude : -magnitude;
+}
+
+Count CancellationDuplication::total_weight(const Configuration& config) const {
+  PPSIM_CHECK(config.num_states() == num_states(), "configuration mismatch");
+  Count total = 0;
+  for (State s = 0; s < num_states(); ++s) {
+    total += config.count(s) * signed_weight(s);
+  }
+  return total;
+}
+
+Transition CancellationDuplication::apply(State initiator, State responder) const {
+  const bool a_token = is_token(initiator);
+  const bool b_token = is_token(responder);
+
+  if (a_token && b_token) {
+    // Cancellation requires equal magnitude and opposite signs.
+    if (exponent(initiator) == exponent(responder) &&
+        is_positive(initiator) != is_positive(responder)) {
+      const State blank_a = is_positive(initiator) ? kBlankPlus : kBlankMinus;
+      const State blank_b = is_positive(responder) ? kBlankPlus : kBlankMinus;
+      return {blank_a, blank_b};
+    }
+    return {initiator, responder};
+  }
+
+  if (a_token != b_token) {
+    const State token = a_token ? initiator : responder;
+    const std::size_t j = exponent(token);
+    const bool pos = is_positive(token);
+    if (j >= 1) {
+      // Duplication: split the token's weight onto both agents.
+      const State half = token_state(pos, j - 1);
+      return {half, half};
+    }
+    // Unit tokens gossip their sign to the blank.
+    const State blank = pos ? kBlankPlus : kBlankMinus;
+    return a_token ? Transition{initiator, blank} : Transition{blank, responder};
+  }
+
+  return {initiator, responder};  // blank/blank: null
+}
+
+std::optional<Opinion> CancellationDuplication::output(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  if (is_token(s)) return is_positive(s) ? kOpinionA : kOpinionB;
+  if (s == kBlankPlus) return kOpinionA;
+  if (s == kBlankMinus) return kOpinionB;
+  return std::nullopt;  // neutral blank: uncommitted
+}
+
+std::string CancellationDuplication::name() const {
+  return "cancel-duplicate-J" + std::to_string(max_exp_);
+}
+
+std::string CancellationDuplication::state_name(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  if (s == kBlankNeutral) return "0?";
+  if (s == kBlankPlus) return "0+";
+  if (s == kBlankMinus) return "0-";
+  std::string name(1, is_positive(s) ? '+' : '-');
+  name += std::to_string(Count{1} << exponent(s));
+  return name;
+}
+
+Configuration CancellationDuplication::initial(Count a, Count b) const {
+  PPSIM_CHECK(a >= 0 && b >= 0, "initial counts must be non-negative");
+  std::vector<Count> counts(num_states(), 0);
+  counts[token_state(true, max_exp_)] = a;
+  counts[token_state(false, max_exp_)] = b;
+  return Configuration(std::move(counts));
+}
+
+}  // namespace ppsim

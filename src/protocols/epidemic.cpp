@@ -1,0 +1,31 @@
+#include "ppsim/protocols/epidemic.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+Transition Epidemic::apply(State initiator, State responder) const {
+  PPSIM_CHECK(initiator < 2 && responder < 2, "state out of range");
+  if (initiator == kInfected || responder == kInfected) {
+    return {kInfected, kInfected};
+  }
+  return {initiator, responder};
+}
+
+std::optional<Opinion> Epidemic::output(State s) const {
+  PPSIM_CHECK(s < 2, "state out of range");
+  return static_cast<Opinion>(s);
+}
+
+std::string Epidemic::state_name(State s) const {
+  PPSIM_CHECK(s < 2, "state out of range");
+  return s == kInfected ? "I" : "S";
+}
+
+Configuration Epidemic::initial(Count n, Count sources) {
+  PPSIM_CHECK(n >= 1, "population must be non-empty");
+  PPSIM_CHECK(sources >= 0 && sources <= n, "sources must be within the population");
+  return Configuration({n - sources, sources});
+}
+
+}  // namespace ppsim

@@ -1,0 +1,44 @@
+#include "ppsim/protocols/four_state_majority.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+Transition FourStateMajority::apply(State initiator, State responder) const {
+  PPSIM_CHECK(initiator < 4 && responder < 4, "state out of range");
+
+  // The rules are unordered; normalise so that `x` is the lexicographically
+  // smaller state and remember whether we swapped.
+  const State x = initiator <= responder ? initiator : responder;
+  const State y = initiator <= responder ? responder : initiator;
+  auto oriented = [&](State nx, State ny) -> Transition {
+    return initiator <= responder ? Transition{nx, ny} : Transition{ny, nx};
+  };
+
+  if (x == kStrongA && y == kStrongB) return oriented(kWeakA, kWeakB);
+  if (x == kStrongA && y == kWeakB) return oriented(kStrongA, kWeakA);
+  if (x == kStrongB && y == kWeakA) return oriented(kStrongB, kWeakB);
+  return {initiator, responder};
+}
+
+std::optional<Opinion> FourStateMajority::output(State s) const {
+  PPSIM_CHECK(s < 4, "state out of range");
+  return (s == kStrongA || s == kWeakA) ? kOpinionA : kOpinionB;
+}
+
+std::string FourStateMajority::state_name(State s) const {
+  PPSIM_CHECK(s < 4, "state out of range");
+  switch (s) {
+    case kStrongA: return "A";
+    case kStrongB: return "B";
+    case kWeakA: return "a";
+    default: return "b";
+  }
+}
+
+Configuration FourStateMajority::initial(Count a, Count b) {
+  PPSIM_CHECK(a >= 0 && b >= 0, "initial counts must be non-negative");
+  return Configuration({a, b, 0, 0});
+}
+
+}  // namespace ppsim

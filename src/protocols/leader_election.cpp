@@ -1,0 +1,30 @@
+#include "ppsim/protocols/leader_election.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+Transition LeaderElection::apply(State initiator, State responder) const {
+  PPSIM_CHECK(initiator < 2 && responder < 2, "state out of range");
+  if (initiator == kLeader && responder == kLeader) {
+    return {kLeader, kFollower};
+  }
+  return {initiator, responder};
+}
+
+std::optional<Opinion> LeaderElection::output(State s) const {
+  PPSIM_CHECK(s < 2, "state out of range");
+  return static_cast<Opinion>(s);
+}
+
+std::string LeaderElection::state_name(State s) const {
+  PPSIM_CHECK(s < 2, "state out of range");
+  return s == kLeader ? "L" : "F";
+}
+
+Configuration LeaderElection::initial(Count n) {
+  PPSIM_CHECK(n >= 1, "population must be non-empty");
+  return Configuration({0, n});
+}
+
+}  // namespace ppsim

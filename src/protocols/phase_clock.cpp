@@ -1,0 +1,88 @@
+#include "ppsim/protocols/phase_clock.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+PhaseClock::PhaseClock(std::size_t num_phases) : phases_(num_phases) {
+  PPSIM_CHECK(num_phases >= 4, "phase clock needs at least 4 phases");
+}
+
+bool PhaseClock::is_leader(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  return s >= phases_;
+}
+
+std::size_t PhaseClock::phase(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  return s % phases_;
+}
+
+State PhaseClock::encode(bool leader, std::size_t p) const {
+  PPSIM_CHECK(p < phases_, "phase out of range");
+  return static_cast<State>((leader ? phases_ : 0) + p);
+}
+
+bool PhaseClock::ahead(std::size_t p, std::size_t q) const {
+  const std::size_t d = (p + phases_ - q) % phases_;
+  return d >= 1 && d < phases_ / 2;
+}
+
+Transition PhaseClock::apply(State initiator, State responder) const {
+  const bool la = is_leader(initiator);
+  const bool lb = is_leader(responder);
+  const std::size_t pa = phase(initiator);
+  const std::size_t pb = phase(responder);
+
+  if (la && lb) return {initiator, responder};  // not intended; leave untouched
+
+  if (la || lb) {
+    const std::size_t pl = la ? pa : pb;
+    const std::size_t pf = la ? pb : pa;
+    std::size_t new_leader_phase = pl;
+    std::size_t new_follower_phase = pf;
+    if (pf == pl) {
+      new_leader_phase = (pl + 1) % phases_;  // phase has come full circle
+    } else if (ahead(pl, pf)) {
+      new_follower_phase = pl;  // follower catches up
+    }
+    // A follower "ahead" of the leader only arises from wrap damage; the
+    // leader's phase is authoritative, so pull the follower back.
+    else {
+      new_follower_phase = pl;
+    }
+    const State leader_state = encode(true, new_leader_phase);
+    const State follower_state = encode(false, new_follower_phase);
+    return la ? Transition{leader_state, follower_state}
+              : Transition{follower_state, leader_state};
+  }
+
+  // Follower/follower: the one behind adopts the newer phase.
+  if (ahead(pa, pb)) return {initiator, encode(false, pa)};
+  if (ahead(pb, pa)) return {encode(false, pb), responder};
+  return {initiator, responder};
+}
+
+std::optional<Opinion> PhaseClock::output(State s) const {
+  return static_cast<Opinion>(phase(s) % 2);
+}
+
+std::string PhaseClock::name() const {
+  return "phase-clock-p" + std::to_string(phases_);
+}
+
+std::string PhaseClock::state_name(State s) const {
+  std::string name(1, is_leader(s) ? 'L' : 'F');
+  name += std::to_string(phase(s));
+  return name;
+}
+
+Configuration PhaseClock::initial(Count n) const {
+  PPSIM_CHECK(n >= 2, "phase clock needs a leader and at least one follower");
+  std::vector<Count> counts(num_states(), 0);
+  counts[encode(false, 0)] = n - 1;
+  counts[encode(true, 0)] = 1;
+  return Configuration(std::move(counts));
+}
+
+}  // namespace ppsim

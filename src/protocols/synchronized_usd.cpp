@@ -1,0 +1,120 @@
+#include "ppsim/protocols/synchronized_usd.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+SynchronizedUsd::SynchronizedUsd(std::size_t k, std::size_t num_phases)
+    : k_(k), clock_(num_phases) {
+  PPSIM_CHECK(k >= 1, "synchronized USD needs at least one opinion");
+}
+
+std::size_t SynchronizedUsd::num_states() const {
+  return clock_.num_states() * (k_ + 1);
+}
+
+State SynchronizedUsd::encode(State clock_state, State usd_state) const {
+  PPSIM_CHECK(clock_state < clock_.num_states(), "clock state out of range");
+  PPSIM_CHECK(usd_state <= k_, "usd state out of range");
+  return static_cast<State>(clock_state * (k_ + 1) + usd_state);
+}
+
+State SynchronizedUsd::clock_part(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  return static_cast<State>(s / (k_ + 1));
+}
+
+State SynchronizedUsd::usd_part(State s) const {
+  PPSIM_CHECK(s < num_states(), "state out of range");
+  return static_cast<State>(s % (k_ + 1));
+}
+
+Transition SynchronizedUsd::apply(State initiator, State responder) const {
+  const State ca = clock_part(initiator);
+  const State cb = clock_part(responder);
+  State ua = usd_part(initiator);
+  State ub = usd_part(responder);
+
+  // Step 1: the clock component always runs.
+  const Transition ct = clock_.apply(ca, cb);
+
+  // Step 2: the USD component fires only when both agents agree on the
+  // parity of their (updated) phase.
+  const std::size_t parity_a = clock_.phase(ct.initiator) % 2;
+  const std::size_t parity_b = clock_.phase(ct.responder) % 2;
+  if (parity_a == parity_b) {
+    const bool a_decided = ua != 0;
+    const bool b_decided = ub != 0;
+    if (parity_a == 0) {
+      // Cancellation stage: clashes only.
+      if (a_decided && b_decided && ua != ub) {
+        ua = 0;
+        ub = 0;
+      }
+    } else {
+      // Recruitment stage: adoptions only.
+      if (a_decided && !b_decided) {
+        ub = ua;
+      } else if (!a_decided && b_decided) {
+        ua = ub;
+      }
+    }
+  }
+
+  return {encode(ct.initiator, ua), encode(ct.responder, ub)};
+}
+
+std::optional<Opinion> SynchronizedUsd::output(State s) const {
+  const State u = usd_part(s);
+  if (u == 0) return std::nullopt;
+  return static_cast<Opinion>(u - 1);
+}
+
+std::string SynchronizedUsd::name() const {
+  return "sync-usd-k" + std::to_string(k_) + "-p" + std::to_string(clock_.num_phases());
+}
+
+std::string SynchronizedUsd::state_name(State s) const {
+  const State u = usd_part(s);
+  return clock_.state_name(clock_part(s)) + "/" + (u == 0 ? "⊥" : "op" + std::to_string(u - 1));
+}
+
+Configuration SynchronizedUsd::initial(const std::vector<Count>& opinion_counts) const {
+  PPSIM_CHECK(opinion_counts.size() == k_, "need one count per opinion");
+  std::vector<Count> counts(num_states(), 0);
+  const State follower0 = clock_.encode(false, 0);
+  const State leader0 = clock_.encode(true, 0);
+  Count total = 0;
+  bool leader_placed = false;
+  for (std::size_t i = 0; i < opinion_counts.size(); ++i) {
+    PPSIM_CHECK(opinion_counts[i] >= 0, "opinion counts must be non-negative");
+    Count c = opinion_counts[i];
+    total += c;
+    if (c > 0 && !leader_placed) {
+      counts[encode(leader0, static_cast<State>(i + 1))] += 1;
+      --c;
+      leader_placed = true;
+    }
+    counts[encode(follower0, static_cast<State>(i + 1))] += c;
+  }
+  PPSIM_CHECK(leader_placed, "at least one agent must hold an opinion");
+  PPSIM_CHECK(total >= 2, "population must have at least two agents");
+  return Configuration(std::move(counts));
+}
+
+std::optional<Opinion> SynchronizedUsd::consensus_opinion(
+    const Configuration& config) const {
+  PPSIM_CHECK(config.num_states() == num_states(), "configuration mismatch");
+  std::optional<Opinion> agreed;
+  for (State s = 0; s < num_states(); ++s) {
+    if (config.count(s) == 0) continue;
+    const State u = usd_part(s);
+    if (u == 0) return std::nullopt;
+    const auto op = static_cast<Opinion>(u - 1);
+    if (agreed.has_value() && *agreed != op) return std::nullopt;
+    agreed = op;
+  }
+  return agreed;
+}
+
+}  // namespace ppsim

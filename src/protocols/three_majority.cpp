@@ -1,0 +1,77 @@
+#include "ppsim/protocols/three_majority.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+ThreeMajorityEngine::ThreeMajorityEngine(const std::vector<Count>& opinion_counts,
+                                         std::uint64_t seed)
+    : k_(opinion_counts.size()), counts_(opinion_counts), rng_(seed) {
+  PPSIM_CHECK(k_ >= 1, "3-majority needs at least one opinion");
+  Count n = 0;
+  for (std::size_t i = 0; i < opinion_counts.size(); ++i) {
+    PPSIM_CHECK(opinion_counts[i] >= 0, "opinion counts must be non-negative");
+    n += opinion_counts[i];
+  }
+  PPSIM_CHECK(n >= 4, "3-majority needs at least four agents");
+  agents_.reserve(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < opinion_counts.size(); ++i) {
+    for (Count c = 0; c < opinion_counts[i]; ++c) {
+      agents_.push_back(static_cast<Opinion>(i));
+    }
+  }
+  next_.resize(agents_.size());
+}
+
+Count ThreeMajorityEngine::opinion_count(Opinion i) const {
+  PPSIM_CHECK(i < k_, "opinion out of range");
+  return counts_[i];
+}
+
+bool ThreeMajorityEngine::consensus() const noexcept {
+  for (const Count c : counts_) {
+    if (c == population()) return true;
+    if (c != 0) return false;
+  }
+  return false;
+}
+
+std::optional<Opinion> ThreeMajorityEngine::winner() const {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == population()) return static_cast<Opinion>(i);
+  }
+  return std::nullopt;
+}
+
+Opinion ThreeMajorityEngine::sample_other(std::size_t self) noexcept {
+  // Uniform over the other n-1 agents: draw from [0, n-1) and skip self.
+  auto idx = static_cast<std::size_t>(rng_.bounded(agents_.size() - 1));
+  if (idx >= self) ++idx;
+  return agents_[idx];
+}
+
+void ThreeMajorityEngine::step_round() {
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const Opinion s1 = sample_other(i);
+    const Opinion s2 = sample_other(i);
+    const Opinion s3 = sample_other(i);
+    // Majority of the multiset {s1, s2, s3}; all-distinct falls back to s1.
+    Opinion result = s1;
+    if (s2 == s3) result = s2;
+    next_[i] = result;
+  }
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    agents_[i] = next_[i];
+    ++counts_[agents_[i]];
+  }
+  ++rounds_;
+}
+
+bool ThreeMajorityEngine::run_until_consensus(std::int64_t max_rounds) {
+  PPSIM_CHECK(max_rounds >= 0, "round budget must be non-negative");
+  while (rounds_ < max_rounds && !consensus()) step_round();
+  return consensus();
+}
+
+}  // namespace ppsim

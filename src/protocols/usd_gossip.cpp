@@ -1,0 +1,53 @@
+#include "ppsim/protocols/usd_gossip.hpp"
+
+#include <algorithm>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+UsdGossipRule::UsdGossipRule(std::size_t k) : k_(k) {
+  PPSIM_CHECK(k >= 1, "USD needs at least one opinion");
+}
+
+State UsdGossipRule::update(State own, State seen) const {
+  PPSIM_CHECK(own <= k_ && seen <= k_, "state out of range");
+  if (own == kUndecided) {
+    return seen;  // adopt whatever was seen (⊥ stays ⊥)
+  }
+  if (seen != kUndecided && seen != own) {
+    return kUndecided;  // clash with a different opinion
+  }
+  return own;
+}
+
+std::string UsdGossipRule::name() const { return "usd-gossip-k" + std::to_string(k_); }
+
+Configuration UsdGossipRule::initial(const std::vector<Count>& opinion_counts,
+                                     Count undecided) const {
+  PPSIM_CHECK(opinion_counts.size() == k_, "need one count per opinion");
+  PPSIM_CHECK(undecided >= 0, "undecided count must be non-negative");
+  std::vector<Count> counts;
+  counts.reserve(k_ + 1);
+  counts.push_back(undecided);
+  counts.insert(counts.end(), opinion_counts.begin(), opinion_counts.end());
+  return Configuration(std::move(counts));
+}
+
+double monochromatic_distance(const std::vector<Count>& opinion_counts) {
+  Count max_count = 0;
+  for (const Count c : opinion_counts) {
+    PPSIM_CHECK(c >= 0, "opinion counts must be non-negative");
+    max_count = std::max(max_count, c);
+  }
+  PPSIM_CHECK(max_count > 0, "monochromatic distance needs a nonzero opinion");
+  double md = 0.0;
+  const auto denom = static_cast<double>(max_count);
+  for (const Count c : opinion_counts) {
+    const double ratio = static_cast<double>(c) / denom;
+    md += ratio * ratio;
+  }
+  return md;
+}
+
+}  // namespace ppsim

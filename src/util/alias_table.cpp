@@ -1,0 +1,58 @@
+#include "ppsim/util/alias_table.hpp"
+
+#include <numeric>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  PPSIM_CHECK(!weights.empty(), "alias table needs at least one category");
+  double sum = 0.0;
+  for (const double w : weights) {
+    PPSIM_CHECK(w >= 0.0, "alias table weights must be non-negative");
+    sum += w;
+  }
+  PPSIM_CHECK(sum > 0.0, "alias table weights must not all be zero");
+
+  const std::size_t s = weights.size();
+  normalized_.resize(s);
+  for (std::size_t i = 0; i < s; ++i) normalized_[i] = weights[i] / sum;
+
+  prob_.assign(s, 0.0);
+  alias_.assign(s, 0);
+
+  // Vose's stable partition into columns below/above average weight.
+  std::vector<double> scaled(s);
+  for (std::size_t i = 0; i < s; ++i) scaled[i] = normalized_[i] * static_cast<double>(s);
+
+  std::vector<std::size_t> small, large;
+  small.reserve(s);
+  large.reserve(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t lo = small.back();
+    small.pop_back();
+    const std::size_t hi = large.back();
+    prob_[lo] = scaled[lo];
+    alias_[lo] = hi;
+    scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0;
+    if (scaled[hi] < 1.0) {
+      large.pop_back();
+      small.push_back(hi);
+    }
+  }
+  // Residual columns carry probability 1 (floating-point leftovers).
+  for (const std::size_t i : large) prob_[i] = 1.0;
+  for (const std::size_t i : small) prob_[i] = 1.0;
+}
+
+double AliasTable::probability(std::size_t i) const {
+  PPSIM_CHECK(i < normalized_.size(), "category out of range");
+  return normalized_[i];
+}
+
+}  // namespace ppsim

@@ -1,0 +1,94 @@
+#include "ppsim/util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/table.hpp"
+
+namespace ppsim {
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  PPSIM_CHECK(width >= 16 && height >= 4, "plot canvas too small");
+}
+
+void AsciiPlot::add_series(const std::string& name, char glyph,
+                           const std::vector<double>& x, const std::vector<double>& y) {
+  PPSIM_CHECK(!x.empty() && x.size() == y.size(), "series needs matching x/y");
+  series_.push_back(Series{name, glyph, x, y});
+}
+
+void AsciiPlot::add_hline(const std::string& name, char glyph, double value) {
+  hlines_.push_back(HLine{name, glyph, value});
+}
+
+void AsciiPlot::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+std::string AsciiPlot::render() const {
+  PPSIM_CHECK(!series_.empty(), "nothing to plot");
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  for (const auto& s : series_) {
+    for (const double v : s.x) {
+      xmin = std::min(xmin, v);
+      xmax = std::max(xmax, v);
+    }
+    for (const double v : s.y) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  for (const auto& h : hlines_) {
+    ymin = std::min(ymin, h.value);
+    ymax = std::max(ymax, h.value);
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  auto to_col = [&](double x) {
+    const double f = (x - xmin) / (xmax - xmin);
+    const auto c = static_cast<std::size_t>(std::lround(f * static_cast<double>(width_ - 1)));
+    return std::min(c, width_ - 1);
+  };
+  auto to_row = [&](double y) {
+    const double f = (y - ymin) / (ymax - ymin);
+    const auto r = static_cast<std::size_t>(std::lround(f * static_cast<double>(height_ - 1)));
+    return height_ - 1 - std::min(r, height_ - 1);  // row 0 is the top
+  };
+
+  for (const auto& h : hlines_) {
+    const std::size_t r = to_row(h.value);
+    for (std::size_t c = 0; c < width_; ++c) {
+      if (canvas[r][c] == ' ') canvas[r][c] = h.glyph;
+    }
+  }
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      canvas[to_row(s.y[i])][to_col(s.x[i])] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << y_label_ << " [" << format_sci(ymin, 2) << ", " << format_sci(ymax, 2) << "]\n";
+  for (const auto& line : canvas) os << '|' << line << "|\n";
+  os << '+' << std::string(width_, '-') << "+\n";
+  os << x_label_ << " [" << format_double(xmin, 2) << ", " << format_double(xmax, 2)
+     << "]\n";
+  os << "legend:";
+  for (const auto& s : series_) os << "  '" << s.glyph << "' " << s.name;
+  for (const auto& h : hlines_) os << "  '" << h.glyph << "' " << h.name;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace ppsim

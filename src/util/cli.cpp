@@ -1,0 +1,71 @@
+#include "ppsim/util/cli.hpp"
+
+#include <cstdlib>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+Cli::Cli(int argc, const char* const* argv) {
+  PPSIM_CHECK(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    PPSIM_CHECK(arg.rfind("--", 0) == 0, "flags must start with --: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean switch
+    }
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t default_value) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  PPSIM_CHECK(end != nullptr && *end == '\0', "flag --" + name + " expects an integer");
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double default_value) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  PPSIM_CHECK(end != nullptr && *end == '\0', "flag --" + name + " expects a number");
+  return v;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& default_value) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool default_value) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  PPSIM_CHECK(it->second == "true" || it->second == "false",
+              "flag --" + name + " expects true/false");
+  return it->second == "true";
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+void Cli::validate_no_unknown_flags() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    PPSIM_CHECK(known_.count(name) > 0, "unknown flag --" + name);
+  }
+}
+
+}  // namespace ppsim

@@ -1,0 +1,44 @@
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+void Xoshiro256pp::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+      0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+Xoshiro256pp Xoshiro256pp::stream(std::uint64_t index) const noexcept {
+  Xoshiro256pp copy = *this;
+  for (std::uint64_t i = 0; i <= index; ++i) copy.jump();
+  return copy;
+}
+
+std::uint64_t Xoshiro256pp::bounded(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift with rejection of the biased low region.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace ppsim

@@ -1,0 +1,94 @@
+#include "ppsim/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_int(std::int64_t v) { return std::to_string(v); }
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  PPSIM_CHECK(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PPSIM_CHECK(cells.size() == columns_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string v) {
+  cells_.push_back(std::move(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(format_int(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+  cells_.push_back(format_double(v, precision));
+  return *this;
+}
+
+void Table::RowBuilder::done() { table_.add_row(std::move(cells_)); }
+
+void Table::write_tsv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? '\t' : '\n');
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? '\t' : '\n');
+    }
+  }
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto line = [&](char fill, char sep) {
+    os << sep;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << std::string(width[c] + 2, fill) << sep;
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(width[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  line('-', '+');
+  emit(columns_);
+  line('-', '+');
+  for (const auto& row : rows_) emit(row);
+  line('-', '+');
+}
+
+}  // namespace ppsim

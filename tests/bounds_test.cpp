@@ -1,0 +1,164 @@
+// Closed-form bounds from the paper: hand-checked values, monotonicity,
+// domain validation, and the relationships the paper states between them.
+#include "ppsim/analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(BoundsTest, SettlePointFormula) {
+  // n/2 - n/(4k)
+  EXPECT_DOUBLE_EQ(bounds::usd_settle_point(1000, 5), 500.0 - 50.0);
+  EXPECT_DOUBLE_EQ(bounds::usd_settle_point(1'000'000, 27),
+                   500000.0 - 1'000'000.0 / 108.0);
+}
+
+TEST(BoundsTest, SettlePointIncreasesInK) {
+  // More opinions -> more clashes -> more undecided at equilibrium.
+  double prev = 0.0;
+  for (std::size_t k = 2; k <= 64; k *= 2) {
+    const double sp = bounds::usd_settle_point(100000, k);
+    EXPECT_GT(sp, prev);
+    prev = sp;
+  }
+  EXPECT_LT(prev, 50000.0);  // always below n/2
+}
+
+TEST(BoundsTest, Lemma31CeilingDominatesSettlePoint) {
+  for (Count n : {Count{10000}, Count{100000}, Count{1000000}}) {
+    for (std::size_t k : {2u, 8u, 27u, 64u}) {
+      EXPECT_GT(bounds::lemma31_ceiling(n, k), bounds::usd_settle_point(n, k));
+    }
+  }
+}
+
+TEST(BoundsTest, Lemma31CeilingHandValue) {
+  // n = 10^6, k = 27: n/2 - n/108 + 10n/676 + 3381·√(n·ln n).
+  const double n = 1e6;
+  const double expected = n / 2.0 - n / 108.0 + 10.0 * n / (26.0 * 26.0) +
+                          (20.0 * 169.0 + 1.0) * std::sqrt(n * std::log(n));
+  EXPECT_NEAR(bounds::lemma31_ceiling(1'000'000, 27), expected, 1e-6);
+  EXPECT_THROW(bounds::lemma31_ceiling(1000, 1), CheckFailure);
+}
+
+TEST(BoundsTest, Theorem35LowerBoundValues) {
+  // (k/25)·ln(√n/(k ln n)); hand check at n = 10^6, k = 27:
+  // √n = 1000, k·ln n = 27·13.8155 ≈ 373.02, ln(2.681) ≈ 0.9862.
+  const double lb = bounds::theorem35_parallel_lower_bound(1'000'000, 27);
+  EXPECT_NEAR(lb, 27.0 / 25.0 * std::log(1000.0 / (27.0 * std::log(1e6))), 1e-9);
+  EXPECT_GT(lb, 1.0);
+  EXPECT_LT(lb, 1.2);
+}
+
+TEST(BoundsTest, Theorem35DegeneratesForLargeK) {
+  // k so large that √n/(k ln n) <= 1: the bound is vacuous (0).
+  EXPECT_DOUBLE_EQ(bounds::theorem35_parallel_lower_bound(10000, 100), 0.0);
+}
+
+TEST(BoundsTest, InteractionBoundIsNTimesParallel) {
+  const Count n = 250000;
+  const std::size_t k = 16;
+  EXPECT_DOUBLE_EQ(bounds::theorem35_interaction_lower_bound(n, k),
+                   static_cast<double>(n) * bounds::theorem35_parallel_lower_bound(n, k));
+}
+
+TEST(BoundsTest, LowerBoundBelowUpperBoundShape) {
+  // The tightness claim: LB = Θ(k log(√n/(k log n))) <= UB = Θ(k log n)
+  // pointwise (with the paper's constants, for all valid (n, k)).
+  for (Count n : {Count{10000}, Count{100000}, Count{1000000}}) {
+    for (std::size_t k : {4u, 8u, 16u, 32u}) {
+      EXPECT_LT(bounds::theorem35_parallel_lower_bound(n, k),
+                bounds::amir_parallel_upper_bound(n, k));
+    }
+  }
+}
+
+TEST(BoundsTest, MaxBiasExceedsWhpBias) {
+  // Theorem 3.5 tolerates biases ω(√(n log n)) — strictly larger than the
+  // sufficient-win bias, which is the paper's headline subtlety.
+  for (Count n : {Count{100000}, Count{1000000}}) {
+    for (std::size_t k : {8u, 27u}) {
+      EXPECT_GT(bounds::theorem35_max_bias(n, k), bounds::whp_bias(n));
+    }
+  }
+}
+
+TEST(BoundsTest, WhpBiasHandValue) {
+  EXPECT_NEAR(bounds::whp_bias(1'000'000), std::sqrt(1e6 * std::log(1e6)), 1e-9);
+}
+
+TEST(BoundsTest, LemmaBudgetsAndLevels) {
+  EXPECT_DOUBLE_EQ(bounds::lemma33_interactions(1000, 10), 10.0 * 1000.0 / 25.0);
+  EXPECT_DOUBLE_EQ(bounds::lemma34_interactions(1000, 10), 10.0 * 1000.0 / 24.0);
+  EXPECT_DOUBLE_EQ(bounds::lemma33_start_level(1000, 10), 150.0);
+  EXPECT_DOUBLE_EQ(bounds::lemma33_target_level(1000, 10), 200.0);
+}
+
+TEST(BoundsTest, EpochCountPositiveInValidRegime) {
+  // The epoch count is Θ(log(√n/(k log n))) with a 1/4 constant in nats —
+  // small at n = 10^6 (the theorem is asymptotic) but strictly positive and
+  // growing in n.
+  EXPECT_GT(bounds::theorem35_epochs(1'000'000, 8), 0.5);
+  EXPECT_GT(bounds::theorem35_epochs(1'000'000, 27), 0.2);
+  EXPECT_GT(bounds::theorem35_epochs(1'000'000'000'000, 8), 3.0);
+  EXPECT_GT(bounds::theorem35_epochs(1'000'000'000'000, 8),
+            bounds::theorem35_epochs(1'000'000, 8));
+}
+
+TEST(BoundsTest, OlivetoWittScale) {
+  EXPECT_NEAR(bounds::oliveto_witt_escape_bound(0.1, 1320.0, 1.0),
+              std::exp(-1.0), 1e-12);
+  EXPECT_THROW(bounds::oliveto_witt_escape_bound(-0.1, 1.0, 1.0), CheckFailure);
+}
+
+TEST(BoundsTest, BernsteinTailKnownValue) {
+  // t = 10, Σ = 50, M = 1: exp(-50/(50 + 10/3)).
+  EXPECT_NEAR(bounds::bernstein_tail(10.0, 50.0, 1.0),
+              std::exp(-50.0 / (50.0 + 10.0 / 3.0)), 1e-12);
+}
+
+TEST(BoundsTest, BernsteinTailDecreasesInT) {
+  double prev = 1.0;
+  for (double t = 1.0; t < 50.0; t += 1.0) {
+    const double tail = bounds::bernstein_tail(t, 100.0, 2.0);
+    EXPECT_LT(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(BoundsTest, Lemma32EscapeBoundMatchesBernsteinForm) {
+  // N = T/(2q) steps: exponent = -(T²/8)/(N(p-q²) + 2T/3).
+  const double T = 100.0;
+  const double p = 0.2;
+  const double q = 0.01;
+  const double N = T / (2.0 * q);
+  const double expected = std::exp(-(T * T / 8.0) / (N * (p - q * q) + 2.0 * T / 3.0));
+  EXPECT_NEAR(bounds::lemma32_escape_bound(T, p, q, N), expected, 1e-12);
+  EXPECT_THROW(bounds::lemma32_escape_bound(T, 0.01, 0.2, N), CheckFailure);  // q > p
+}
+
+TEST(BoundsTest, Lemma32ConditionScreening) {
+  // Large T passes, tiny T fails.
+  EXPECT_TRUE(bounds::lemma32_condition_holds(1e6, 0.2, 0.01, 1000));
+  EXPECT_FALSE(bounds::lemma32_condition_holds(10.0, 0.2, 0.01, 1000));
+}
+
+TEST(BoundsTest, PaperKReproducesFigureParameters) {
+  // The paper: n = 10^6 gives k = 27.
+  EXPECT_EQ(bounds::paper_k(1'000'000), 27u);
+}
+
+TEST(BoundsTest, DomainChecks) {
+  EXPECT_THROW(bounds::usd_settle_point(1, 2), CheckFailure);
+  EXPECT_THROW(bounds::usd_settle_point(100, 0), CheckFailure);
+  EXPECT_THROW(bounds::whp_bias(1), CheckFailure);
+  EXPECT_THROW(bounds::paper_k(4), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ppsim

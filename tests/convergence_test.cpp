@@ -1,0 +1,81 @@
+// Convergence vs stabilization (the paper's footnote-2 distinction): for
+// USD the two coincide; for quantized averaging convergence strictly
+// precedes stabilization.
+#include "ppsim/analysis/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppsim/protocols/averaging_majority.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(ConvergenceTest, UsdConvergenceEqualsStabilization) {
+  // "In the Undecided State Dynamics, convergence and stabilization are
+  // equivalent": the first time all agents output the winner is the moment
+  // the configuration becomes monochromatic, which is absorbing.
+  const UndecidedStateDynamics usd(2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulator sim(usd, Configuration({0, 700, 300}), seed);
+    const ConvergenceReport report = measure_convergence(sim, 0, 100'000'000);
+    ASSERT_TRUE(report.stabilized);
+    ASSERT_TRUE(report.final_output.has_value());
+    ASSERT_EQ(*report.final_output, 0u);
+    EXPECT_EQ(report.first_convergence, report.final_convergence);
+    EXPECT_EQ(report.output_breaks, 0);
+  }
+}
+
+TEST(ConvergenceTest, AveragingConvergesBeforeItStabilizes) {
+  // With a = 40, b = 24 (d = 16, m = 64): all values turn positive long
+  // before the averaging process quiesces into two adjacent levels.
+  const AveragingMajority p(64);
+  bool strict_gap_seen = false;
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    Simulator sim(p, p.initial(40, 24), seed, Simulator::Engine::kVirtual);
+    const ConvergenceReport report =
+        measure_convergence(sim, AveragingMajority::kOpinionA, 200'000'000);
+    ASSERT_TRUE(report.stabilized) << "seed " << seed;
+    ASSERT_GE(report.first_convergence, 0);
+    EXPECT_LE(report.first_convergence, report.stabilization);
+    if (report.first_convergence < report.stabilization / 2) strict_gap_seen = true;
+  }
+  EXPECT_TRUE(strict_gap_seen)
+      << "averaging should typically converge well before it stabilizes";
+}
+
+TEST(ConvergenceTest, NeverConvergesToTheWrongTarget) {
+  const UndecidedStateDynamics usd(2);
+  Simulator sim(usd, Configuration({0, 900, 100}), 3);
+  // target = minority: the run stabilizes on the majority, so convergence
+  // to opinion 1 never happens.
+  const ConvergenceReport report = measure_convergence(sim, 1, 100'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_EQ(report.first_convergence, -1);
+  EXPECT_EQ(report.final_convergence, -1);
+  ASSERT_TRUE(report.final_output.has_value());
+  EXPECT_EQ(*report.final_output, 0u);
+}
+
+TEST(ConvergenceTest, AlreadyConvergedAtStart) {
+  const UndecidedStateDynamics usd(2);
+  Simulator sim(usd, Configuration({0, 10, 0}), 1);
+  const ConvergenceReport report = measure_convergence(sim, 0, 1000);
+  EXPECT_TRUE(report.stabilized);
+  EXPECT_EQ(report.first_convergence, 0);
+  EXPECT_EQ(report.stabilization, 0);
+}
+
+TEST(ConvergenceTest, BudgetExhaustionReported) {
+  const UndecidedStateDynamics usd(2);
+  Simulator sim(usd, Configuration({0, 500, 500}), 3);
+  const ConvergenceReport report = measure_convergence(sim, 0, 100);
+  EXPECT_FALSE(report.stabilized);
+  EXPECT_EQ(report.stabilization, -1);
+  EXPECT_THROW(measure_convergence(sim, 0, -1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ppsim

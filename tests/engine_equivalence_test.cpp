@@ -1,0 +1,168 @@
+// Cross-validation of the four USD execution paths — specialized UsdEngine,
+// table-driven Simulator, virtual-dispatch Simulator, and GraphSimulator on
+// an explicit clique — which by construction realise the *same* Markov
+// chain. Rather than comparing trajectories (the engines consume randomness
+// differently), we compare distributions: means and variances of the key
+// observables at several horizons must agree within Monte-Carlo error, and
+// exact one-step transition probabilities must match the drift formulas on
+// every engine.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ppsim/analysis/drift.hpp"
+#include "ppsim/core/graph.hpp"
+#include "ppsim/core/graph_simulator.hpp"
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+namespace {
+
+constexpr Count kN = 60;
+constexpr std::size_t kK = 3;
+const std::vector<Count> kOpinions = {25, 20, 15};
+
+std::vector<State> agent_layout() {
+  std::vector<State> states;
+  for (std::size_t op = 0; op < kOpinions.size(); ++op) {
+    for (Count c = 0; c < kOpinions[op]; ++c) {
+      states.push_back(UndecidedStateDynamics::opinion_state(static_cast<Opinion>(op)));
+    }
+  }
+  return states;
+}
+
+struct Moments {
+  RunningStats u;
+  RunningStats x0;
+};
+
+template <typename StepFn, typename ReadU, typename ReadX0>
+Moments collect(int trials, Interactions horizon, std::uint64_t seed_base,
+                StepFn&& make_and_run, ReadU&& read_u, ReadX0&& read_x0) {
+  Moments m;
+  for (int t = 0; t < trials; ++t) {
+    auto engine = make_and_run(seed_base + static_cast<std::uint64_t>(t), horizon);
+    m.u.add(read_u(engine));
+    m.x0.add(read_x0(engine));
+  }
+  return m;
+}
+
+class HorizonTest : public ::testing::TestWithParam<Interactions> {};
+
+TEST_P(HorizonTest, AllEnginesAgreeOnMomentsOfU) {
+  const Interactions horizon = GetParam();
+  constexpr int kTrials = 500;
+  const UndecidedStateDynamics usd(kK);
+  const InteractionGraph clique = InteractionGraph::complete(static_cast<NodeId>(kN));
+
+  const Moments fast = collect(
+      kTrials, horizon, 1000,
+      [&](std::uint64_t seed, Interactions h) {
+        UsdEngine e(kOpinions, seed);
+        for (Interactions i = 0; i < h && !e.stabilized(); ++i) e.step();
+        return e;
+      },
+      [](const UsdEngine& e) { return static_cast<double>(e.undecided()); },
+      [](const UsdEngine& e) { return static_cast<double>(e.opinion_count(0)); });
+
+  const Moments table = collect(
+      kTrials, horizon, 2000,
+      [&](std::uint64_t seed, Interactions h) {
+        Simulator s(usd, Configuration({0, 25, 20, 15}), seed);
+        for (Interactions i = 0; i < h; ++i) s.step();
+        return s.configuration();
+      },
+      [](const Configuration& c) { return static_cast<double>(c.count(0)); },
+      [](const Configuration& c) { return static_cast<double>(c.count(1)); });
+
+  const Moments virt = collect(
+      kTrials, horizon, 3000,
+      [&](std::uint64_t seed, Interactions h) {
+        Simulator s(usd, Configuration({0, 25, 20, 15}), seed,
+                    Simulator::Engine::kVirtual);
+        for (Interactions i = 0; i < h; ++i) s.step();
+        return s.configuration();
+      },
+      [](const Configuration& c) { return static_cast<double>(c.count(0)); },
+      [](const Configuration& c) { return static_cast<double>(c.count(1)); });
+
+  const Moments graph = collect(
+      kTrials, horizon, 4000,
+      [&](std::uint64_t seed, Interactions h) {
+        GraphSimulator s(usd, clique, agent_layout(), seed);
+        for (Interactions i = 0; i < h; ++i) s.step();
+        return s.configuration();
+      },
+      [](const Configuration& c) { return static_cast<double>(c.count(0)); },
+      [](const Configuration& c) { return static_cast<double>(c.count(1)); });
+
+  const Moments* engines[] = {&fast, &table, &virt, &graph};
+  const char* names[] = {"fast", "table", "virtual", "graph"};
+  for (int i = 1; i < 4; ++i) {
+    const double tol_u = 4.5 * (engines[0]->u.sem() + engines[i]->u.sem());
+    EXPECT_NEAR(engines[0]->u.mean(), engines[i]->u.mean(), tol_u)
+        << "u mismatch: fast vs " << names[i] << " at horizon " << horizon;
+    const double tol_x = 4.5 * (engines[0]->x0.sem() + engines[i]->x0.sem());
+    EXPECT_NEAR(engines[0]->x0.mean(), engines[i]->x0.mean(), tol_x)
+        << "x0 mismatch: fast vs " << names[i] << " at horizon " << horizon;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HorizonTest,
+                         ::testing::Values<Interactions>(1, 10, 100, 1000),
+                         [](const ::testing::TestParamInfo<Interactions>& param_info) {
+                           return "h" + std::to_string(param_info.param);
+                         });
+
+TEST(EngineEquivalenceTest, OneStepLawMatchesDriftOnEveryEngine) {
+  // After exactly one interaction, P[u increased] must equal the drift
+  // formula's clash probability for each engine.
+  const UsdDrift drift({0, 25, 20, 15});
+  const double p_clash = drift.prob_undecided_increase();
+  constexpr int kTrials = 60000;
+  const UndecidedStateDynamics usd(kK);
+  const InteractionGraph clique = InteractionGraph::complete(static_cast<NodeId>(kN));
+
+  int fast_clash = 0;
+  int graph_clash = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    UsdEngine e(kOpinions, 50000 + static_cast<std::uint64_t>(t));
+    e.step();
+    if (e.undecided() > 0) ++fast_clash;
+
+    GraphSimulator g(usd, clique, agent_layout(), 90000 + static_cast<std::uint64_t>(t));
+    g.step();
+    if (g.count(UndecidedStateDynamics::kUndecided) > 0) ++graph_clash;
+  }
+  EXPECT_NEAR(static_cast<double>(fast_clash) / kTrials, p_clash, 0.006);
+  EXPECT_NEAR(static_cast<double>(graph_clash) / kTrials, p_clash, 0.006);
+}
+
+TEST(EngineEquivalenceTest, StabilizationTimesShareDistribution) {
+  // Full-run comparison: mean stabilization interactions across engines on
+  // a biased two-party instance.
+  const UndecidedStateDynamics usd(2);
+  constexpr int kTrials = 150;
+  RunningStats fast_time;
+  RunningStats table_time;
+  for (int t = 0; t < kTrials; ++t) {
+    UsdEngine e({70, 30}, 600 + static_cast<std::uint64_t>(t));
+    e.run_until_stable(10'000'000);
+    fast_time.add(static_cast<double>(e.interactions()));
+
+    Simulator s(usd, Configuration({0, 70, 30}), 800 + static_cast<std::uint64_t>(t));
+    s.set_stability_check_stride(1);  // per-step checks: exact stopping time
+    const RunOutcome out = s.run_until_stable(10'000'000);
+    ASSERT_TRUE(out.stabilized);
+    table_time.add(static_cast<double>(out.interactions));
+  }
+  EXPECT_NEAR(fast_time.mean(), table_time.mean(),
+              4.5 * (fast_time.sem() + table_time.sem()));
+}
+
+}  // namespace
+}  // namespace ppsim

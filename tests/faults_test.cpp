@@ -1,0 +1,111 @@
+// Fault injection: invariant preservation under corruption, reproducible
+// fault streams, near-consensus under sustained faults, and recovery
+// (self-stabilization) once faults stop.
+#include "ppsim/core/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(CorruptAgentTest, MaintainsEngineInvariants) {
+  UsdEngine engine({10, 5, 0}, 3, 1);
+  engine.corrupt_agent(1, 3);  // opinion 0 -> opinion 2 (previously extinct)
+  EXPECT_EQ(engine.opinion_count(0), 9);
+  EXPECT_EQ(engine.opinion_count(2), 1);
+  EXPECT_EQ(engine.surviving_opinions(), 3u);
+  EXPECT_EQ(engine.population(), 18);
+
+  engine.corrupt_agent(3, 0);  // back out: opinion 2 extinct again
+  EXPECT_EQ(engine.surviving_opinions(), 2u);
+  EXPECT_EQ(engine.undecided(), 4);
+
+  EXPECT_THROW(engine.corrupt_agent(3, 0), CheckFailure);  // now empty
+  EXPECT_THROW(engine.corrupt_agent(7, 0), CheckFailure);  // out of range
+
+  // the engine still simulates correctly afterwards
+  for (int i = 0; i < 1000; ++i) engine.step();
+  const auto& c = engine.counts();
+  EXPECT_EQ(std::accumulate(c.begin(), c.end(), Count{0}), 18);
+}
+
+TEST(CorruptAgentTest, CanRestartStabilizedEngine) {
+  UsdEngine engine({10, 0}, 1);
+  ASSERT_TRUE(engine.stabilized());
+  engine.corrupt_agent(1, 2);  // revive the extinct opinion
+  EXPECT_FALSE(engine.stabilized());
+}
+
+TEST(FaultInjectorTest, ZeroRateNeverCorrupts) {
+  UsdFaultInjector injector(0.0, 5);
+  UsdEngine engine({50, 50}, 7);
+  injector.run(engine, 5000);
+  EXPECT_EQ(injector.corruptions(), 0);
+}
+
+TEST(FaultInjectorTest, RateControlsCorruptionFrequency) {
+  UsdFaultInjector injector(0.1, 5);
+  UsdEngine engine({500, 500}, 7);
+  injector.run(engine, 20000);
+  // ~2000 corruption draws; (k+1-1)/(k+1) = 2/3 of draws move the agent.
+  EXPECT_GT(injector.corruptions(), 1000);
+  EXPECT_LT(injector.corruptions(), 1800);
+}
+
+TEST(FaultInjectorTest, FaultStreamIsReproducible) {
+  UsdEngine a({300, 200}, 42);
+  UsdFaultInjector ia(0.05, 9);
+  ia.run(a, 10000);
+
+  UsdEngine b({300, 200}, 42);
+  UsdFaultInjector ib(0.05, 9);
+  ib.run(b, 10000);
+
+  EXPECT_EQ(a.counts(), b.counts());
+  EXPECT_EQ(ia.corruptions(), ib.corruptions());
+}
+
+TEST(FaultInjectorTest, RejectsBadRate) {
+  EXPECT_THROW(UsdFaultInjector(-0.1, 1), CheckFailure);
+  EXPECT_THROW(UsdFaultInjector(1.5, 1), CheckFailure);
+}
+
+TEST(FaultToleranceTest, NearConsensusUnderSustainedFaults) {
+  // Strong bias, small corruption rate: after the fault-free stabilization
+  // horizon the system should hold a near-consensus (quality >= 0.9) even
+  // though formal stabilization is impossible under faults.
+  const Count n = 10000;
+  UsdEngine engine({7000, 3000}, 11);
+  UsdFaultInjector injector(0.001, 13);
+  injector.run(engine, 100 * n);
+  EXPECT_FALSE(engine.stabilized());  // faults keep it alive...
+  EXPECT_GT(consensus_quality(engine), 0.9);  // ...but the majority holds
+}
+
+TEST(FaultToleranceTest, RecoversAfterFaultsStop) {
+  // Self-stabilization: run with heavy corruption, then stop the faults and
+  // confirm the dynamics still reach a proper consensus.
+  const Count n = 5000;
+  UsdEngine engine({3500, 1500}, 17);
+  UsdFaultInjector injector(0.01, 19);
+  injector.run(engine, 20 * n);
+  ASSERT_FALSE(engine.stabilized());
+  ASSERT_TRUE(engine.run_until_stable(100000 * n));
+  EXPECT_TRUE(engine.winner().has_value());
+}
+
+TEST(ConsensusQualityTest, Definition) {
+  UsdEngine perfect({10, 0}, 1);
+  EXPECT_DOUBLE_EQ(consensus_quality(perfect), 1.0);
+  UsdEngine split({5, 5}, 1);
+  EXPECT_DOUBLE_EQ(consensus_quality(split), 0.5);
+  UsdEngine with_undecided({5, 0}, 5, 1);
+  EXPECT_DOUBLE_EQ(consensus_quality(with_undecided), 0.5);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,142 @@
+// Gossip engine: conservation, exact one-round expectations against analytic
+// values, stability semantics, USD-gossip behaviour, and md(c).
+#include "ppsim/core/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppsim/protocols/usd_gossip.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(GossipEngineTest, RejectsBadConstruction) {
+  const UsdGossipRule rule(2);
+  EXPECT_THROW(GossipEngine(rule, Configuration({1, 1}), 1), CheckFailure);  // 2 states vs 3
+  EXPECT_THROW(GossipEngine(rule, Configuration({1, 0, 0}), 1), CheckFailure);  // n < 2
+}
+
+TEST(GossipEngineTest, PopulationConservedEachRound) {
+  const UsdGossipRule rule(3);
+  GossipEngine engine(rule, rule.initial({40, 30, 30}), 5);
+  for (int r = 0; r < 50; ++r) {
+    engine.step_round();
+    ASSERT_EQ(engine.configuration().population(), 100);
+  }
+  EXPECT_EQ(engine.rounds(), 50);
+}
+
+TEST(GossipEngineTest, DeterministicGivenSeed) {
+  const UsdGossipRule rule(2);
+  GossipEngine a(rule, rule.initial({60, 40}), 77);
+  GossipEngine b(rule, rule.initial({60, 40}), 77);
+  for (int r = 0; r < 20; ++r) {
+    a.step_round();
+    b.step_round();
+    ASSERT_EQ(a.configuration(), b.configuration());
+  }
+}
+
+TEST(GossipEngineTest, MonochromaticIsStable) {
+  const UsdGossipRule rule(2);
+  GossipEngine engine(rule, rule.initial({100, 0}), 1);
+  EXPECT_TRUE(engine.is_stable());
+  const GossipOutcome out = engine.run_until_stable(100);
+  EXPECT_TRUE(out.stabilized);
+  EXPECT_EQ(out.rounds, 0);
+}
+
+TEST(GossipEngineTest, UsdGossipReachesConsensusWithBias) {
+  const UsdGossipRule rule(2);
+  GossipEngine engine(rule, rule.initial({700, 300}), 3);
+  const GossipOutcome out = engine.run_until_stable(100000);
+  ASSERT_TRUE(out.stabilized);
+  // Strong bias: opinion 0 must win.
+  EXPECT_EQ(engine.configuration().count(1), 700 + 300);
+}
+
+TEST(GossipEngineTest, OneRoundExpectationMatchesAnalytic) {
+  // In a PULL round from (x_A, x_B), an A-agent becomes ⊥ iff it sees a B
+  // agent: P = x_B/(n-1). Expected #A after one round:
+  //   E[A'] = x_A·(1 - x_B/(n-1)) + u·x_A/(n-1)   (u = 0 here).
+  const UsdGossipRule rule(2);
+  constexpr Count kA = 600;
+  constexpr Count kB = 400;
+  constexpr double kN1 = 999.0;
+  RunningStats a_after;
+  for (int trial = 0; trial < 400; ++trial) {
+    GossipEngine engine(rule, rule.initial({kA, kB}), 1000 + static_cast<std::uint64_t>(trial));
+    engine.step_round();
+    a_after.add(static_cast<double>(engine.configuration().count(1)));
+  }
+  const double expected = kA * (1.0 - kB / kN1);
+  EXPECT_NEAR(a_after.mean(), expected, 4.0 * a_after.sem() + 1.0);
+}
+
+TEST(GossipEngineTest, UndecidedAdoptionExpectation) {
+  // An undecided agent adopts opinion A with probability x_A/(n-1).
+  const UsdGossipRule rule(1);
+  constexpr Count kU = 500;
+  constexpr Count kA = 500;
+  RunningStats a_after;
+  for (int trial = 0; trial < 400; ++trial) {
+    GossipEngine engine(rule, rule.initial({kA}, kU), 2000 + static_cast<std::uint64_t>(trial));
+    engine.step_round();
+    a_after.add(static_cast<double>(engine.configuration().count(1)));
+  }
+  const double expected = kA + kU * (kA / 999.0);
+  EXPECT_NEAR(a_after.mean(), expected, 4.0 * a_after.sem() + 1.0);
+}
+
+TEST(UsdGossipRuleTest, UpdateSemantics) {
+  const UsdGossipRule rule(3);
+  // ⊥ adopts whatever it sees.
+  EXPECT_EQ(rule.update(0, 2), 2u);
+  EXPECT_EQ(rule.update(0, 0), 0u);
+  // clash with a different opinion
+  EXPECT_EQ(rule.update(1, 2), 0u);
+  // same opinion or seen-⊥: no change
+  EXPECT_EQ(rule.update(1, 1), 1u);
+  EXPECT_EQ(rule.update(1, 0), 1u);
+  EXPECT_THROW(rule.update(4, 0), CheckFailure);
+}
+
+TEST(UsdGossipRuleTest, InitialBuilder) {
+  const UsdGossipRule rule(2);
+  const Configuration c = rule.initial({30, 20}, 5);
+  EXPECT_EQ(c.count(0), 5);
+  EXPECT_EQ(c.count(1), 30);
+  EXPECT_EQ(c.count(2), 20);
+  EXPECT_THROW(rule.initial({1, 2, 3}), CheckFailure);  // wrong k
+}
+
+TEST(MonochromaticDistanceTest, KnownValues) {
+  // Monochromatic: md = 1.
+  EXPECT_DOUBLE_EQ(monochromatic_distance({100, 0, 0}), 1.0);
+  // k equal opinions: md = k.
+  EXPECT_DOUBLE_EQ(monochromatic_distance({50, 50, 50, 50}), 4.0);
+  // Mixed: 1 + (1/2)² = 1.25.
+  EXPECT_DOUBLE_EQ(monochromatic_distance({100, 50}), 1.25);
+  EXPECT_THROW(monochromatic_distance({0, 0}), CheckFailure);
+  EXPECT_THROW(monochromatic_distance({-1, 5}), CheckFailure);
+}
+
+TEST(MonochromaticDistanceTest, BoundedByK) {
+  Xoshiro256pp rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Count> counts;
+    const std::size_t k = 2 + rng.bounded(8);
+    for (std::size_t i = 0; i < k; ++i) {
+      counts.push_back(1 + static_cast<Count>(rng.bounded(100)));
+    }
+    const double md = monochromatic_distance(counts);
+    EXPECT_GE(md, 1.0);
+    EXPECT_LE(md, static_cast<double>(k));
+  }
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,233 @@
+// Interaction graphs and the per-agent graph engine: generator shapes,
+// connectivity, clique cross-validation against the counts engine, and
+// topology-dependent behaviour (epidemic on a path is Θ(n) parallel time).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ppsim/core/graph.hpp"
+#include "ppsim/core/graph_simulator.hpp"
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/protocols/epidemic.hpp"
+#include "ppsim/protocols/leader_election.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+namespace {
+
+// ------------------------------------------------------------ generators ----
+
+TEST(InteractionGraphTest, CompleteGraphShape) {
+  const InteractionGraph g = InteractionGraph::complete(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, CycleShape) {
+  const InteractionGraph g = InteractionGraph::cycle(10);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, PathShape) {
+  const InteractionGraph g = InteractionGraph::path(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(9), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, StarShape) {
+  const InteractionGraph g = InteractionGraph::star(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (NodeId v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, ErdosRenyiDensity) {
+  Xoshiro256pp rng(1);
+  const InteractionGraph g = InteractionGraph::erdos_renyi(100, 0.3, rng);
+  const double expected = 0.3 * 100.0 * 99.0 / 2.0;  // ≈ 1485
+  EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.8);
+  EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.2);
+  EXPECT_TRUE(g.is_connected());  // p far above the connectivity threshold
+}
+
+TEST(InteractionGraphTest, RandomRegularDegrees) {
+  Xoshiro256pp rng(2);
+  const InteractionGraph g = InteractionGraph::random_regular(50, 4, rng);
+  EXPECT_EQ(g.num_edges(), 100u);
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_THROW(InteractionGraph::random_regular(5, 3, rng), CheckFailure);  // odd n·d
+}
+
+TEST(InteractionGraphTest, DisconnectedDetected) {
+  // two disjoint edges
+  const InteractionGraph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, RejectsBadEdges) {
+  EXPECT_THROW(InteractionGraph(3, {{0, 0}}), CheckFailure);  // self-loop
+  EXPECT_THROW(InteractionGraph(3, {{0, 5}}), CheckFailure);  // out of range
+  EXPECT_THROW(InteractionGraph(3, {}), CheckFailure);        // no edges
+}
+
+TEST(InteractionGraphTest, NeighborsWithMultiplicity) {
+  const InteractionGraph g(3, {{0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.degree(0), 2u);  // parallel edge counted twice
+  const auto nb = g.neighbors(1);
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+// ---------------------------------------------------------- graph engine ----
+
+TEST(GraphSimulatorTest, PopulationAndCountsConserved) {
+  const UndecidedStateDynamics usd(2);
+  const InteractionGraph g = InteractionGraph::cycle(30);
+  std::vector<State> states(30, 1);
+  for (std::size_t i = 15; i < 30; ++i) states[i] = 2;
+  GraphSimulator sim(usd, g, states, 7);
+  for (int i = 0; i < 5000; ++i) {
+    sim.step();
+    const Configuration c = sim.configuration();
+    ASSERT_EQ(c.population(), 30);
+    // counts must mirror the per-agent array
+    std::vector<Count> recount(3, 0);
+    for (NodeId v = 0; v < 30; ++v) ++recount[sim.state_of(v)];
+    ASSERT_EQ(c.counts(), recount);
+  }
+}
+
+TEST(GraphSimulatorTest, RejectsMismatchedStates) {
+  const UndecidedStateDynamics usd(2);
+  const InteractionGraph g = InteractionGraph::cycle(10);
+  EXPECT_THROW(GraphSimulator(usd, g, std::vector<State>(9, 1), 1), CheckFailure);
+  EXPECT_THROW(GraphSimulator(usd, g, std::vector<State>(10, 7), 1), CheckFailure);
+}
+
+TEST(GraphSimulatorTest, UsdOnCliqueMatchesCountsEngineDistribution) {
+  // Same protocol, same (clique) topology, different engines: compare the
+  // mean undecided count after a fixed horizon across trials.
+  const UndecidedStateDynamics usd(2);
+  const InteractionGraph clique = InteractionGraph::complete(60);
+  constexpr Interactions kSteps = 800;
+  constexpr int kTrials = 400;
+  RunningStats graph_u;
+  RunningStats counts_u;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<State> states(60);
+    for (std::size_t i = 0; i < 60; ++i) states[i] = i < 35 ? 1 : 2;
+    GraphSimulator gsim(usd, clique, states,
+                        3000 + static_cast<std::uint64_t>(t));
+    for (Interactions i = 0; i < kSteps; ++i) gsim.step();
+    graph_u.add(static_cast<double>(gsim.count(UndecidedStateDynamics::kUndecided)));
+
+    Simulator csim(usd, Configuration({0, 35, 25}),
+                   7000 + static_cast<std::uint64_t>(t));
+    for (Interactions i = 0; i < kSteps; ++i) csim.step();
+    counts_u.add(static_cast<double>(
+        csim.configuration().count(UndecidedStateDynamics::kUndecided)));
+  }
+  EXPECT_NEAR(graph_u.mean(), counts_u.mean(),
+              4.0 * (graph_u.sem() + counts_u.sem()));
+}
+
+TEST(GraphSimulatorTest, EpidemicCoversConnectedGraphs) {
+  const Epidemic epidemic;
+  for (const auto& g : {InteractionGraph::cycle(50), InteractionGraph::star(50),
+                        InteractionGraph::path(50)}) {
+    std::vector<State> states(50, Epidemic::kSusceptible);
+    states[0] = Epidemic::kInfected;
+    GraphSimulator sim(epidemic, g, states, 5);
+    ASSERT_TRUE(sim.run_until_stable(10'000'000));
+    EXPECT_EQ(sim.count(Epidemic::kInfected), 50);
+  }
+}
+
+TEST(GraphSimulatorTest, EpidemicStallsAcrossDisconnection) {
+  const Epidemic epidemic;
+  const InteractionGraph g(4, {{0, 1}, {2, 3}});
+  std::vector<State> states = {Epidemic::kInfected, Epidemic::kSusceptible,
+                               Epidemic::kSusceptible, Epidemic::kSusceptible};
+  GraphSimulator sim(epidemic, g, states, 5);
+  ASSERT_TRUE(sim.run_until_stable(1'000'000));
+  EXPECT_EQ(sim.count(Epidemic::kInfected), 2);  // only the {0,1} component
+}
+
+TEST(GraphSimulatorTest, PathEpidemicIsLinearTimeNotLog) {
+  // On a path, information travels one hop at a time: Θ(n) parallel time
+  // (vs Θ(log n) on the clique). Compare the two directly at n = 100.
+  const Epidemic epidemic;
+  const NodeId n = 100;
+
+  std::vector<State> path_states(n, Epidemic::kSusceptible);
+  path_states[0] = Epidemic::kInfected;
+  const InteractionGraph path = InteractionGraph::path(n);
+  GraphSimulator path_sim(epidemic, path, path_states, 3);
+  ASSERT_TRUE(path_sim.run_until_stable(100'000'000));
+
+  const InteractionGraph clique = InteractionGraph::complete(n);
+  std::vector<State> clique_states(n, Epidemic::kSusceptible);
+  clique_states[0] = Epidemic::kInfected;
+  GraphSimulator clique_sim(epidemic, clique, clique_states, 3);
+  ASSERT_TRUE(clique_sim.run_until_stable(100'000'000));
+
+  EXPECT_GT(path_sim.parallel_time(), 4.0 * clique_sim.parallel_time());
+}
+
+TEST(GraphSimulatorTest, LeaderElectionOnCliqueLeavesOne) {
+  const LeaderElection le;
+  const InteractionGraph clique = InteractionGraph::complete(40);
+  GraphSimulator sim(le, clique, std::vector<State>(40, LeaderElection::kLeader), 9);
+  ASSERT_TRUE(sim.run_until_stable(100'000'000));
+  EXPECT_EQ(sim.count(LeaderElection::kLeader), 1);
+}
+
+TEST(GraphSimulatorTest, LeaderElectionOnSparseGraphsStallsAtIndependentSet) {
+  // Fratricide only fires along edges: on sparse topologies the survivors
+  // are a (maximal-under-the-dynamics) *independent set* of leaders, not a
+  // single one — a crisp demonstration that clique results do not transfer
+  // to general graphs (the reason the paper, like most of the literature,
+  // fixes the clique).
+  const LeaderElection le;
+  Xoshiro256pp rng(4);
+  const InteractionGraph graphs[] = {
+      InteractionGraph::cycle(40), InteractionGraph::star(40),
+      InteractionGraph::random_regular(40, 4, rng)};
+  for (const auto& g : graphs) {
+    std::vector<State> states(40, LeaderElection::kLeader);
+    GraphSimulator sim(le, g, states, 9);
+    ASSERT_TRUE(sim.run_until_stable(100'000'000));
+    EXPECT_GE(sim.count(LeaderElection::kLeader), 1);
+    // stability == no edge joins two leaders
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      const auto& [a, b] = g.edge(e);
+      EXPECT_FALSE(sim.state_of(a) == LeaderElection::kLeader &&
+                   sim.state_of(b) == LeaderElection::kLeader);
+    }
+  }
+}
+
+TEST(GraphSimulatorTest, ConsensusOutputSemantics) {
+  const UndecidedStateDynamics usd(2);
+  const InteractionGraph g = InteractionGraph::cycle(10);
+  GraphSimulator mono(usd, g, std::vector<State>(10, 1), 1);
+  ASSERT_TRUE(mono.consensus_output().has_value());
+  EXPECT_EQ(*mono.consensus_output(), 0u);
+
+  std::vector<State> mixed(10, 1);
+  mixed[3] = 2;
+  GraphSimulator no_consensus(usd, g, mixed, 1);
+  EXPECT_FALSE(no_consensus.consensus_output().has_value());
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,112 @@
+// Initial-configuration builders: exact population accounting, equal
+// minorities, realised-bias guarantees, and the paper's Figure 1 setup.
+#include "ppsim/analysis/initial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(AdversarialConfigTest, ExactPopulationAndEqualMinorities) {
+  const InitialConfig c = adversarial_configuration(100000, 16, 500);
+  EXPECT_EQ(c.population(), 100000);
+  EXPECT_EQ(c.opinion_counts.size(), 16u);
+  // all minorities identical
+  std::set<Count> minority_levels(c.opinion_counts.begin() + 1, c.opinion_counts.end());
+  EXPECT_EQ(minority_levels.size(), 1u);
+  // realised bias within [requested, requested + k)
+  EXPECT_GE(c.bias, 500);
+  EXPECT_LT(c.bias, 500 + 16);
+  EXPECT_EQ(c.majority() - c.minority(), c.bias);
+}
+
+TEST(AdversarialConfigTest, ZeroBiasStillValid) {
+  const InitialConfig c = adversarial_configuration(1000, 8, 0);
+  EXPECT_EQ(c.population(), 1000);
+  EXPECT_GE(c.bias, 0);
+  EXPECT_LT(c.bias, 8);
+}
+
+TEST(AdversarialConfigTest, SingleOpinionDegenerate) {
+  const InitialConfig c = adversarial_configuration(50, 1, 0);
+  EXPECT_EQ(c.opinion_counts.size(), 1u);
+  EXPECT_EQ(c.opinion_counts[0], 50);
+  EXPECT_EQ(c.bias, 0);
+}
+
+TEST(AdversarialConfigTest, ExactDivisibilityGivesRequestedBias) {
+  // n = 1000, k = 4, bias = 100: (1000-100)/4 = 225 exactly, majority 325.
+  const InitialConfig c = adversarial_configuration(1000, 4, 100);
+  EXPECT_EQ(c.minority(), 225);
+  EXPECT_EQ(c.majority(), 325);
+  EXPECT_EQ(c.bias, 100);
+}
+
+TEST(AdversarialConfigTest, RejectsImpossibleInputs) {
+  EXPECT_THROW(adversarial_configuration(5, 10, 0), CheckFailure);    // n < k
+  EXPECT_THROW(adversarial_configuration(100, 4, -1), CheckFailure);  // negative
+  EXPECT_THROW(adversarial_configuration(100, 4, 99), CheckFailure);  // no room
+}
+
+TEST(Figure1ConfigTest, MatchesPaperParameters) {
+  // n = 10^6, k = 27 (= bounds::paper_k), bias = ceil(√(n ln n)) ≈ 3718.
+  const Count n = 1'000'000;
+  const std::size_t k = bounds::paper_k(n);
+  ASSERT_EQ(k, 27u);
+  const InitialConfig c = figure1_configuration(n, k);
+  EXPECT_EQ(c.population(), n);
+  const auto expected_bias =
+      static_cast<Count>(std::ceil(std::sqrt(1e6 * std::log(1e6))));
+  EXPECT_GE(c.bias, expected_bias);
+  EXPECT_LT(c.bias, expected_bias + static_cast<Count>(k));
+  // x_i(0) ≈ n/k for all opinions
+  EXPECT_NEAR(static_cast<double>(c.minority()), 1e6 / 27.0, 200.0);
+}
+
+TEST(BalancedConfigTest, SpreadsRemainderEvenly) {
+  const InitialConfig c = balanced_configuration(10, 3);  // 4, 3, 3
+  EXPECT_EQ(c.opinion_counts, (std::vector<Count>{4, 3, 3}));
+  EXPECT_EQ(c.bias, 1);
+  const InitialConfig even = balanced_configuration(9, 3);
+  EXPECT_EQ(even.opinion_counts, (std::vector<Count>{3, 3, 3}));
+  EXPECT_EQ(even.bias, 0);
+}
+
+TEST(TwoPartyConfigTest, BiasBookkeeping) {
+  const InitialConfig c = two_party_configuration(100, 60);
+  EXPECT_EQ(c.opinion_counts, (std::vector<Count>{60, 40}));
+  EXPECT_EQ(c.bias, 20);
+  EXPECT_THROW(two_party_configuration(100, 40), CheckFailure);   // minority first
+  EXPECT_THROW(two_party_configuration(100, 101), CheckFailure);  // too many
+}
+
+TEST(RandomConfigTest, SortedAndConserving) {
+  Xoshiro256pp rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const InitialConfig c = random_configuration(1000, 7, rng);
+    EXPECT_EQ(c.population(), 1000);
+    for (std::size_t i = 1; i < c.opinion_counts.size(); ++i) {
+      EXPECT_LE(c.opinion_counts[i], c.opinion_counts[i - 1]);
+    }
+    EXPECT_EQ(c.bias, c.opinion_counts[0] - c.opinion_counts[1]);
+  }
+}
+
+TEST(InitialConfigTest, BiasWithinTheoremLimitForPaperScale) {
+  // The Figure 1 bias √(n ln n) is well inside Theorem 3.5's admissible
+  // range (√n/(k ln n))^{1/4}·√(n ln n) — i.e. the lower bound applies to
+  // the exact configuration the paper simulates.
+  const Count n = 1'000'000;
+  const std::size_t k = 27;
+  const InitialConfig c = figure1_configuration(n, k);
+  EXPECT_LT(static_cast<double>(c.bias), bounds::theorem35_max_bias(n, k));
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,120 @@
+// Table emission, ASCII plotting and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ppsim/util/ascii_plot.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/table.hpp"
+
+namespace ppsim {
+namespace {
+
+// ----------------------------------------------------------------- table ----
+
+TEST(TableTest, TsvRoundTrip) {
+  Table t({"n", "k", "time"});
+  t.row().cell(std::int64_t{1000}).cell(std::int64_t{8}).cell(3.25, 2).done();
+  t.row().cell(std::int64_t{2000}).cell(std::int64_t{16}).cell(7.5, 2).done();
+  std::ostringstream os;
+  t.write_tsv(os);
+  EXPECT_EQ(os.str(), "n\tk\ttime\n1000\t8\t3.25\n2000\t16\t7.50\n");
+}
+
+TEST(TableTest, PrettyContainsAllCells) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{42}).done();
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+  EXPECT_THROW(Table({}), CheckFailure);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_int(-7), "-7");
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+}
+
+// ------------------------------------------------------------------ plot ----
+
+TEST(AsciiPlotTest, RendersSeriesGlyphsAndLegend) {
+  AsciiPlot plot(40, 10);
+  plot.add_series("rising", '*', {0.0, 1.0, 2.0}, {0.0, 5.0, 10.0});
+  plot.add_hline("guide", '-', 5.0);
+  plot.set_labels("t", "count");
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("rising"), std::string::npos);
+  EXPECT_NE(out.find("guide"), std::string::npos);
+  EXPECT_NE(out.find("count"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, RejectsEmptyAndTiny) {
+  EXPECT_THROW(AsciiPlot(2, 2), CheckFailure);
+  AsciiPlot plot(40, 10);
+  EXPECT_THROW(plot.render(), CheckFailure);  // nothing to plot
+  EXPECT_THROW(plot.add_series("bad", 'x', {}, {}), CheckFailure);
+  EXPECT_THROW(plot.add_series("bad", 'x', {1.0}, {1.0, 2.0}), CheckFailure);
+}
+
+TEST(AsciiPlotTest, ConstantSeriesDoesNotDivideByZero) {
+  AsciiPlot plot(40, 10);
+  plot.add_series("flat", 'o', {0.0, 1.0}, {3.0, 3.0});
+  EXPECT_NO_THROW(plot.render());
+}
+
+// ------------------------------------------------------------------- cli ----
+
+TEST(CliTest, ParsesSpaceAndEqualsForms) {
+  const char* argv[] = {"prog", "--n", "1000", "--k=27", "--verbose"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 1000);
+  EXPECT_EQ(cli.get_int("k", 0), 27);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_NO_THROW(cli.validate_no_unknown_flags());
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 123), 123);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cli.get_string("name", "default"), "default");
+  EXPECT_FALSE(cli.get_bool("flag", false));
+  EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(CliTest, RejectsMalformedInput) {
+  const char* bad_prefix[] = {"prog", "n", "5"};
+  EXPECT_THROW(Cli(3, bad_prefix), CheckFailure);
+
+  const char* bad_int[] = {"prog", "--n", "12x"};
+  Cli cli(3, bad_int);
+  EXPECT_THROW(cli.get_int("n", 0), CheckFailure);
+}
+
+TEST(CliTest, UnknownFlagsDetected) {
+  const char* argv[] = {"prog", "--typo", "5"};
+  Cli cli(3, argv);
+  cli.get_int("n", 0);  // registers "n" only
+  EXPECT_THROW(cli.validate_no_unknown_flags(), CheckFailure);
+}
+
+TEST(CliTest, NegativeNumbersAsValues) {
+  const char* argv[] = {"prog", "--bias=-5"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("bias", 0), -5);
+}
+
+}  // namespace
+}  // namespace ppsim

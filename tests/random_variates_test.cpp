@@ -1,0 +1,196 @@
+// Alias table + binomial/multinomial/hypergeometric samplers: moment checks,
+// conservation, degenerate cases, and distribution-shape chi-square tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "ppsim/util/alias_table.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/random_variates.hpp"
+#include "ppsim/util/rng.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+namespace {
+
+// ---------------------------------------------------------------- alias ----
+
+TEST(AliasTable, RejectsBadWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), CheckFailure);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -0.5}), CheckFailure);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), CheckFailure);
+}
+
+TEST(AliasTable, NormalizesProbabilities) {
+  AliasTable t(std::vector<double>{2.0, 6.0});
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.probability(1), 0.75);
+}
+
+TEST(AliasTable, SingleCategoryAlwaysSampled) {
+  AliasTable t(std::vector<double>{3.0});
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightCategoryNeverSampled) {
+  AliasTable t(std::vector<double>{1.0, 0.0, 1.0});
+  Xoshiro256pp rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(t.sample(rng), 1u);
+}
+
+TEST(AliasTable, EmpiricalDistributionMatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 10.0};
+  AliasTable t(weights);
+  Xoshiro256pp rng(77);
+  constexpr int kDraws = 200000;
+  std::vector<std::int64_t> hits(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++hits[t.sample(rng)];
+  std::vector<double> expected(weights.size());
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    expected[c] = weights[c] / sum * kDraws;
+  }
+  const double stat = chi_square_statistic(hits, expected);
+  EXPECT_GT(chi_square_sf(stat, static_cast<int>(weights.size()) - 1), 1e-6);
+}
+
+// ------------------------------------------------------------- binomial ----
+
+TEST(Binomial, DegenerateCases) {
+  Xoshiro256pp rng(3);
+  EXPECT_EQ(binomial(rng, 0, 0.5), 0);
+  EXPECT_EQ(binomial(rng, 100, 0.0), 0);
+  EXPECT_EQ(binomial(rng, 100, 1.0), 100);
+  EXPECT_THROW(binomial(rng, -1, 0.5), CheckFailure);
+}
+
+TEST(Binomial, ClampsProbability) {
+  Xoshiro256pp rng(3);
+  EXPECT_EQ(binomial(rng, 10, -0.2), 0);
+  EXPECT_EQ(binomial(rng, 10, 1.7), 10);
+}
+
+TEST(Binomial, MomentsMatchTheory) {
+  Xoshiro256pp rng(17);
+  constexpr std::int64_t kTrials = 400;
+  constexpr double kP = 0.3;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(binomial(rng, kTrials, kP)));
+  }
+  const double mean = kTrials * kP;
+  const double var = kTrials * kP * (1 - kP);
+  EXPECT_NEAR(stats.mean(), mean, 4.0 * std::sqrt(var / 20000.0) + 0.5);
+  EXPECT_NEAR(stats.variance(), var, 0.1 * var);
+}
+
+// ----------------------------------------------------------- multinomial ----
+
+TEST(Multinomial, ConservesTrials) {
+  Xoshiro256pp rng(5);
+  const std::vector<double> w = {0.1, 0.5, 0.2, 0.2};
+  for (std::int64_t trials : {0ll, 1ll, 17ll, 1000ll, 123456ll}) {
+    const auto out = multinomial(rng, trials, w);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::int64_t{0}), trials);
+  }
+}
+
+TEST(Multinomial, ZeroWeightBucketsGetNothing) {
+  Xoshiro256pp rng(6);
+  const auto out = multinomial(rng, 10000, std::vector<double>{1.0, 0.0, 1.0, 0.0});
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[3], 0);
+  EXPECT_EQ(out[0] + out[2], 10000);
+}
+
+TEST(Multinomial, RejectsInvalidInput) {
+  Xoshiro256pp rng(7);
+  EXPECT_THROW(multinomial(rng, 5, std::vector<double>{1.0, -1.0}), CheckFailure);
+  EXPECT_THROW(multinomial(rng, 5, std::vector<double>{0.0, 0.0}), CheckFailure);
+  // zero trials with zero mass is fine
+  const auto out = multinomial(rng, 0, std::vector<double>{0.0, 0.0});
+  EXPECT_EQ(out[0] + out[1], 0);
+}
+
+TEST(Multinomial, IntegerWeightOverloadAgreesOnMarginals) {
+  Xoshiro256pp rng(8);
+  const std::vector<std::int64_t> w = {1, 2, 7};
+  RunningStats bucket0;
+  constexpr int kReps = 5000;
+  constexpr std::int64_t kTrials = 100;
+  for (int i = 0; i < kReps; ++i) {
+    const auto out = multinomial(rng, kTrials, w);
+    bucket0.add(static_cast<double>(out[0]));
+  }
+  EXPECT_NEAR(bucket0.mean(), kTrials * 0.1, 0.15);
+}
+
+TEST(Multinomial, MarginalsAreBinomial) {
+  Xoshiro256pp rng(9);
+  const std::vector<double> w = {0.25, 0.75};
+  constexpr std::int64_t kTrials = 200;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(multinomial(rng, kTrials, w)[0]));
+  }
+  EXPECT_NEAR(stats.mean(), 50.0, 0.5);
+  EXPECT_NEAR(stats.variance(), 200 * 0.25 * 0.75, 0.1 * 37.5);
+}
+
+// -------------------------------------------------------- hypergeometric ----
+
+TEST(Hypergeometric, DegenerateCases) {
+  Xoshiro256pp rng(10);
+  EXPECT_EQ(hypergeometric(rng, 5, 5, 0), 0);
+  EXPECT_EQ(hypergeometric(rng, 0, 10, 4), 0);
+  EXPECT_EQ(hypergeometric(rng, 10, 0, 4), 4);
+  EXPECT_EQ(hypergeometric(rng, 3, 3, 6), 3);  // draw everything
+  EXPECT_THROW(hypergeometric(rng, 2, 2, 5), CheckFailure);
+  EXPECT_THROW(hypergeometric(rng, -1, 2, 1), CheckFailure);
+}
+
+TEST(Hypergeometric, StaysInSupport) {
+  Xoshiro256pp rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t x = hypergeometric(rng, 7, 5, 6);
+    EXPECT_GE(x, 1);  // max(0, draws - failures) = 1
+    EXPECT_LE(x, 6);  // min(successes, draws)
+  }
+}
+
+TEST(Hypergeometric, MomentsMatchTheory) {
+  Xoshiro256pp rng(12);
+  constexpr std::int64_t kS = 300;
+  constexpr std::int64_t kF = 700;
+  constexpr std::int64_t kD = 100;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(hypergeometric(rng, kS, kF, kD)));
+  }
+  const double n = kS + kF;
+  const double mean = kD * kS / n;
+  const double var = kD * (kS / n) * (kF / n) * (n - kD) / (n - 1);
+  EXPECT_NEAR(stats.mean(), mean, 0.2);
+  EXPECT_NEAR(stats.variance(), var, 0.1 * var);
+}
+
+TEST(Hypergeometric, LargeDrawBranchMatchesMoments) {
+  // draws > pool/2 exercises the complement reduction.
+  Xoshiro256pp rng(13);
+  constexpr std::int64_t kS = 40;
+  constexpr std::int64_t kF = 60;
+  constexpr std::int64_t kD = 80;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(hypergeometric(rng, kS, kF, kD)));
+  }
+  const double n = kS + kF;
+  const double mean = kD * kS / n;
+  EXPECT_NEAR(stats.mean(), mean, 0.1);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,161 @@
+// Lemma 3.2 machinery: lazy-walk step law, the coupling's domination
+// invariant, and the escape-probability bound.
+#include "ppsim/analysis/random_walks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(LazyWalkTest, RejectsInvalidRates) {
+  LazyWalk bad_p(
+      [](std::int64_t) {
+        return WalkRates{1.5, 0.0};
+      },
+      1);
+  EXPECT_THROW(bad_p.step(), CheckFailure);
+  LazyWalk bad_q(
+      [](std::int64_t) {
+        return WalkRates{0.1, 0.5};
+      },
+      1);
+  EXPECT_THROW(bad_q.step(), CheckFailure);
+}
+
+TEST(LazyWalkTest, ZeroMoveProbabilityStaysPut) {
+  LazyWalk walk(0.0, 0.0, 7);
+  for (int i = 0; i < 1000; ++i) walk.step();
+  EXPECT_EQ(walk.position(), 0);
+  EXPECT_EQ(walk.steps(), 1000);
+}
+
+TEST(LazyWalkTest, AlwaysUpWithFullDrift) {
+  // p = 1, q = 1: P(+1) = 1.
+  LazyWalk walk(1.0, 1.0, 7);
+  for (int i = 0; i < 100; ++i) walk.step();
+  EXPECT_EQ(walk.position(), 100);
+}
+
+TEST(LazyWalkTest, StepFrequencyMatchesP) {
+  constexpr double kP = 0.3;
+  LazyWalk walk(kP, 0.0, 11);
+  std::int64_t moves = 0;
+  std::int64_t prev = 0;
+  constexpr int kSteps = 100000;
+  for (int i = 0; i < kSteps; ++i) {
+    walk.step();
+    if (walk.position() != prev) ++moves;
+    prev = walk.position();
+  }
+  EXPECT_NEAR(static_cast<double>(moves) / kSteps, kP, 0.01);
+}
+
+TEST(LazyWalkTest, MeanDriftIsQ) {
+  // E[Y(t)] = q·t.
+  constexpr double kP = 0.5;
+  constexpr double kQ = 0.05;
+  constexpr int kSteps = 2000;
+  RunningStats final_pos;
+  for (int trial = 0; trial < 500; ++trial) {
+    LazyWalk walk(kP, kQ, 100 + static_cast<std::uint64_t>(trial));
+    for (int i = 0; i < kSteps; ++i) walk.step();
+    final_pos.add(static_cast<double>(walk.position()));
+  }
+  EXPECT_NEAR(final_pos.mean(), kQ * kSteps, 5.0 * final_pos.sem());
+}
+
+TEST(LazyWalkTest, VarianceReflectsLaziness) {
+  // Var[Y(t)] ≈ p·t for q << p: the laziness insight the paper exploits
+  // ("the walk actually moved for pm out of those steps").
+  constexpr double kP = 0.1;
+  constexpr int kSteps = 4000;
+  RunningStats final_pos;
+  for (int trial = 0; trial < 800; ++trial) {
+    LazyWalk walk(kP, 0.0, 900 + static_cast<std::uint64_t>(trial));
+    for (int i = 0; i < kSteps; ++i) walk.step();
+    final_pos.add(static_cast<double>(walk.position()));
+  }
+  const double expected_var = kP * kSteps;  // = 400, vs 4000 for a non-lazy walk
+  EXPECT_NEAR(final_pos.variance(), expected_var, 0.15 * expected_var);
+}
+
+TEST(LazyWalkTest, RunUntilLevelReportsHit) {
+  LazyWalk fast(1.0, 1.0, 3);
+  EXPECT_TRUE(fast.run_until_level(50, 1000));
+  EXPECT_EQ(fast.steps(), 50);
+
+  LazyWalk frozen(0.0, 0.0, 3);
+  EXPECT_FALSE(frozen.run_until_level(1, 1000));
+}
+
+TEST(CoupledWalksTest, DominationInvariantHolds) {
+  // The proof's coupling guarantees Ỹ(t) >= Y(t) for all t, for any rate
+  // schedule with q(t) <= q_cap. Use an oscillating schedule to stress it.
+  auto rates = [](std::int64_t t) {
+    return WalkRates{0.4, t % 3 == 0 ? 0.02 : -0.05};
+  };
+  CoupledLazyWalks walks(rates, 0.02, 13);
+  for (int i = 0; i < 50000; ++i) {
+    walks.step();
+    ASSERT_GE(walks.y_tilde(), walks.y()) << "domination broken at step " << i;
+  }
+}
+
+TEST(CoupledWalksTest, IdenticalWhenQEqualsCap) {
+  // With q(t) == q_cap the third interval is empty: the walks coincide.
+  CoupledLazyWalks walks([](std::int64_t) { return WalkRates{0.3, 0.1}; }, 0.1, 17);
+  for (int i = 0; i < 20000; ++i) {
+    walks.step();
+    ASSERT_EQ(walks.y(), walks.y_tilde());
+  }
+}
+
+TEST(CoupledWalksTest, RejectsRateAboveCap) {
+  CoupledLazyWalks walks([](std::int64_t) { return WalkRates{0.3, 0.2}; }, 0.1, 17);
+  EXPECT_THROW(walks.step(), CheckFailure);
+}
+
+TEST(EscapeEstimateTest, CertainEscape) {
+  const EscapeEstimate est = estimate_escape_probability(1.0, 1.0, 10, 100, 50, 3);
+  EXPECT_DOUBLE_EQ(est.probability, 1.0);
+  EXPECT_EQ(est.escapes, 50);
+}
+
+TEST(EscapeEstimateTest, ImpossibleEscape) {
+  const EscapeEstimate est = estimate_escape_probability(0.0, 0.0, 1, 100, 50, 3);
+  EXPECT_DOUBLE_EQ(est.probability, 0.0);
+}
+
+TEST(EscapeEstimateTest, BoundFromLemma32HoldsEmpirically) {
+  // Pick a regime where the analytic bound is ~0.01 and check the empirical
+  // escape rate stays below it. p = 0.2, q = 0.005, T = 60,
+  // N = T/(2q) = 6000.
+  const double p = 0.2;
+  const double q = 0.005;
+  const std::int64_t T = 60;
+  const auto N = static_cast<std::int64_t>(static_cast<double>(T) / (2.0 * q));
+  const double analytic =
+      bounds::lemma32_escape_bound(static_cast<double>(T), p, q, static_cast<double>(N));
+  const EscapeEstimate est = estimate_escape_probability(p, q, T, N, 2000, 99);
+  EXPECT_LE(est.probability, analytic + 0.01)
+      << "empirical " << est.probability << " vs bound " << analytic;
+}
+
+TEST(EscapeEstimateTest, LazinessSuppressesEscape) {
+  // Same drift, same step budget: the lazier walk escapes less often — the
+  // variance effect at the heart of Lemma 3.3.
+  const std::int64_t T = 30;
+  const std::int64_t N = 20000;
+  const EscapeEstimate lazy = estimate_escape_probability(0.05, 0.0, T, N, 2000, 5);
+  const EscapeEstimate busy = estimate_escape_probability(0.8, 0.0, T, N, 2000, 6);
+  EXPECT_LT(lazy.probability, busy.probability);
+}
+
+}  // namespace
+}  // namespace ppsim

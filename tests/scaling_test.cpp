@@ -1,0 +1,55 @@
+// Scaling-law fitting: synthetic recovery of constants and validation
+// semantics of the lower-bound ratio.
+#include "ppsim/analysis/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(ScalingFitTest, RecoversSyntheticLowerBoundConstant) {
+  // Fabricate measurements that are exactly 3x the lower-bound shape; the
+  // fit must recover c = 3 with perfect R².
+  std::vector<ScalingPoint> points;
+  const Count n = 250000;
+  for (std::size_t k : {4u, 8u, 12u, 16u, 24u}) {
+    points.push_back(
+        {n, k, 3.0 * bounds::theorem35_parallel_lower_bound(n, k)});
+  }
+  const ScalingFit fit = fit_scaling(points);
+  EXPECT_NEAR(fit.lower_bound_shape.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.lower_bound_shape.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.min_ratio_to_lower_bound, 3.0, 1e-9);
+}
+
+TEST(ScalingFitTest, RecoversSyntheticUpperBoundConstant) {
+  std::vector<ScalingPoint> points;
+  const Count n = 250000;
+  for (std::size_t k : {4u, 8u, 12u, 16u, 24u}) {
+    points.push_back({n, k, 0.5 * bounds::amir_parallel_upper_bound(n, k)});
+  }
+  const ScalingFit fit = fit_scaling(points);
+  EXPECT_NEAR(fit.upper_bound_shape.slope, 0.5, 1e-9);
+  EXPECT_NEAR(fit.upper_bound_shape.r_squared, 1.0, 1e-9);
+}
+
+TEST(ScalingFitTest, MinRatioFlagsViolation) {
+  // A point below the lower bound (ratio < 1) must be reported as such.
+  const Count n = 250000;
+  const std::size_t k = 8;
+  const double lb = bounds::theorem35_parallel_lower_bound(n, k);
+  const ScalingFit fit = fit_scaling({{n, k, 0.5 * lb}});
+  EXPECT_LT(fit.min_ratio_to_lower_bound, 1.0);
+}
+
+TEST(ScalingFitTest, RejectsDegenerateRegime) {
+  EXPECT_THROW(fit_scaling({}), CheckFailure);
+  // k too large: lower bound is zero -> cannot fit.
+  EXPECT_THROW(fit_scaling({{10000, 100, 5.0}}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ppsim

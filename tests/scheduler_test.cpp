@@ -1,0 +1,115 @@
+// PairSampler: the scheduler must draw ordered pairs of *distinct* agents
+// uniformly. With counts-based states this means:
+//   P[first in state a]  = count(a)/n
+//   P[(a, b)]            = count(a)·(count(b) - [a=b]) / (n(n-1)).
+// We verify the exact pair distribution with a chi-square test and check
+// without-replacement behaviour on singleton states.
+#include "ppsim/core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(PairSamplerTest, RequiresTwoAgents) {
+  EXPECT_THROW(PairSampler(Configuration({1, 0})), CheckFailure);
+  EXPECT_NO_THROW(PairSampler(Configuration({1, 1})));
+}
+
+TEST(PairSamplerTest, SingletonStateNeverPairsWithItself) {
+  // State 0 has exactly one agent: the ordered pair (0, 0) is impossible.
+  PairSampler sampler(Configuration({1, 9}));
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto [a, b] = sampler.sample(rng);
+    EXPECT_FALSE(a == 0 && b == 0);
+  }
+}
+
+TEST(PairSamplerTest, TwoAgentsAlwaysMeetEachOther) {
+  PairSampler sampler(Configuration({1, 1}));
+  Xoshiro256pp rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto [a, b] = sampler.sample(rng);
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST(PairSamplerTest, SamplingDoesNotMutateWeights) {
+  PairSampler sampler(Configuration({3, 7}));
+  Xoshiro256pp rng(3);
+  std::map<std::pair<State, State>, int> first_pass;
+  for (int i = 0; i < 1000; ++i) ++first_pass[sampler.sample(rng)];
+  // Re-running with the same seed must reproduce the same draws — the urn
+  // was restored after every sample.
+  Xoshiro256pp rng2(3);
+  std::map<std::pair<State, State>, int> second_pass;
+  for (int i = 0; i < 1000; ++i) ++second_pass[sampler.sample(rng2)];
+  EXPECT_EQ(first_pass, second_pass);
+}
+
+TEST(PairSamplerTest, PairDistributionIsExact) {
+  // counts = [4, 6], n = 10. Ordered-pair probabilities:
+  //   (0,0): 4·3/90, (0,1): 4·6/90, (1,0): 6·4/90, (1,1): 6·5/90.
+  const std::vector<Count> counts = {4, 6};
+  PairSampler sampler{Configuration(counts)};
+  Xoshiro256pp rng(42);
+  constexpr int kDraws = 200000;
+
+  std::map<std::pair<State, State>, std::int64_t> hits;
+  for (int i = 0; i < kDraws; ++i) ++hits[sampler.sample(rng)];
+
+  std::vector<std::int64_t> observed;
+  std::vector<double> expected;
+  const double norm = 10.0 * 9.0;
+  for (State a = 0; a < 2; ++a) {
+    for (State b = 0; b < 2; ++b) {
+      observed.push_back(hits[{a, b}]);
+      const double ca = static_cast<double>(counts[a]);
+      const double cb = static_cast<double>(counts[b]) - (a == b ? 1.0 : 0.0);
+      expected.push_back(ca * cb / norm * kDraws);
+    }
+  }
+  const double stat = chi_square_statistic(observed, expected);
+  EXPECT_GT(chi_square_sf(stat, 3), 1e-6) << "chi-square " << stat;
+}
+
+TEST(PairSamplerTest, ThreeStateMarginalsAreUniformOverAgents) {
+  const std::vector<Count> counts = {2, 3, 5};
+  PairSampler sampler{Configuration(counts)};
+  Xoshiro256pp rng(7);
+  constexpr int kDraws = 150000;
+  std::vector<std::int64_t> first(3, 0);
+  for (int i = 0; i < kDraws; ++i) ++first[sampler.sample(rng).first];
+  std::vector<double> expected;
+  for (const Count c : counts) expected.push_back(static_cast<double>(c) / 10.0 * kDraws);
+  const double stat = chi_square_statistic(first, expected);
+  EXPECT_GT(chi_square_sf(stat, 2), 1e-6);
+}
+
+TEST(PairSamplerTest, MoveAgentKeepsSamplerInSync) {
+  PairSampler sampler(Configuration({10, 0}));
+  Xoshiro256pp rng(9);
+  // Initially state 1 is empty: never sampled.
+  for (int i = 0; i < 100; ++i) {
+    const auto [a, b] = sampler.sample(rng);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 0u);
+  }
+  // Move everyone to state 1 and the picture flips.
+  for (int i = 0; i < 10; ++i) sampler.move_agent(0, 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto [a, b] = sampler.sample(rng);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ppsim

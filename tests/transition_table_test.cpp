@@ -1,0 +1,89 @@
+// TransitionTable compilation and stability detection, exercised through the
+// USD protocol (whose rule set covers null, symmetric and asymmetric cases).
+#include "ppsim/core/transition_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(TransitionTableTest, CompilesUsdRules) {
+  const UndecidedStateDynamics usd(3);  // states: ⊥=0, opinions 1..3
+  const TransitionTable table(usd);
+  EXPECT_EQ(table.num_states(), 4u);
+
+  // clash
+  EXPECT_EQ(table.apply(1, 2), (Transition{0, 0}));
+  EXPECT_EQ(table.apply(3, 1), (Transition{0, 0}));
+  // adoption, both orders
+  EXPECT_EQ(table.apply(2, 0), (Transition{2, 2}));
+  EXPECT_EQ(table.apply(0, 2), (Transition{2, 2}));
+  // null transitions
+  EXPECT_EQ(table.apply(1, 1), (Transition{1, 1}));
+  EXPECT_EQ(table.apply(0, 0), (Transition{0, 0}));
+}
+
+TEST(TransitionTableTest, NullDetectionMatchesApply) {
+  const UndecidedStateDynamics usd(4);
+  const TransitionTable table(usd);
+  for (State a = 0; a < table.num_states(); ++a) {
+    for (State b = 0; b < table.num_states(); ++b) {
+      const Transition t = table.apply(a, b);
+      EXPECT_EQ(table.is_null(a, b), t.initiator == a && t.responder == b);
+    }
+  }
+}
+
+TEST(TransitionTableTest, StabilityOnUsdConfigurations) {
+  const UndecidedStateDynamics usd(3);
+  const TransitionTable table(usd);
+
+  // All agents on one opinion: stable.
+  EXPECT_TRUE(table.is_stable(Configuration({0, 10, 0, 0})));
+  // All undecided: stable.
+  EXPECT_TRUE(table.is_stable(Configuration({10, 0, 0, 0})));
+  // Opinion + undecided: adoption can fire.
+  EXPECT_FALSE(table.is_stable(Configuration({5, 5, 0, 0})));
+  // Two opinions: clash can fire.
+  EXPECT_FALSE(table.is_stable(Configuration({0, 5, 5, 0})));
+}
+
+TEST(TransitionTableTest, SameStatePairNeedsTwoAgents) {
+  // A single leader cannot interact with itself: (L, L) requires count >= 2.
+  struct SelfClash final : Protocol {
+    std::size_t num_states() const override { return 2; }
+    Transition apply(State a, State b) const override {
+      if (a == 1 && b == 1) return {1, 0};
+      return {a, b};
+    }
+    std::optional<Opinion> output(State s) const override { return s; }
+    std::string name() const override { return "self-clash"; }
+  };
+  const SelfClash protocol;
+  const TransitionTable table(protocol);
+  EXPECT_TRUE(table.is_stable(Configuration({5, 1})));   // one "leader"
+  EXPECT_FALSE(table.is_stable(Configuration({5, 2})));  // two can clash
+}
+
+TEST(TransitionTableTest, RejectsOutOfRangeTransitions) {
+  struct Broken final : Protocol {
+    std::size_t num_states() const override { return 2; }
+    Transition apply(State, State) const override { return {5, 0}; }
+    std::optional<Opinion> output(State s) const override { return s; }
+    std::string name() const override { return "broken"; }
+  };
+  const Broken protocol;
+  EXPECT_THROW(TransitionTable{protocol}, CheckFailure);
+}
+
+TEST(TransitionTableTest, ConfigurationSizeMismatchThrows) {
+  const UndecidedStateDynamics usd(2);
+  const TransitionTable table(usd);
+  EXPECT_THROW(table.is_stable(Configuration({1, 1})), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ppsim

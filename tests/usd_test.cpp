@@ -1,0 +1,235 @@
+// Undecided State Dynamics: transition semantics, engine bookkeeping,
+// equivalence of the specialized engine with the generic simulator, and
+// consensus behaviour under bias.
+#include "ppsim/protocols/usd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/core/runner.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+namespace {
+
+// ------------------------------------------------- protocol formulation ----
+
+TEST(UsdProtocolTest, TransitionRulesMatchThePaper) {
+  const UndecidedStateDynamics usd(3);
+  const State bot = UndecidedStateDynamics::kUndecided;
+  const State s1 = UndecidedStateDynamics::opinion_state(0);
+  const State s2 = UndecidedStateDynamics::opinion_state(1);
+
+  // f(s1, s2) = (⊥, ⊥) for distinct opinions
+  EXPECT_EQ(usd.apply(s1, s2), (Transition{bot, bot}));
+  EXPECT_EQ(usd.apply(s2, s1), (Transition{bot, bot}));
+  // f(s, ⊥) = (s, s), both orders
+  EXPECT_EQ(usd.apply(s1, bot), (Transition{s1, s1}));
+  EXPECT_EQ(usd.apply(bot, s1), (Transition{s1, s1}));
+  // identity otherwise
+  EXPECT_EQ(usd.apply(s1, s1), (Transition{s1, s1}));
+  EXPECT_EQ(usd.apply(bot, bot), (Transition{bot, bot}));
+}
+
+TEST(UsdProtocolTest, OutputMapsOpinionsAndUndecided) {
+  const UndecidedStateDynamics usd(2);
+  EXPECT_FALSE(usd.output(UndecidedStateDynamics::kUndecided).has_value());
+  EXPECT_EQ(*usd.output(1), 0u);
+  EXPECT_EQ(*usd.output(2), 1u);
+  EXPECT_THROW(usd.output(3), CheckFailure);
+}
+
+TEST(UsdProtocolTest, StateSpaceIsKPlusOne) {
+  EXPECT_EQ(UndecidedStateDynamics(1).num_states(), 2u);
+  EXPECT_EQ(UndecidedStateDynamics(27).num_states(), 28u);
+  EXPECT_THROW(UndecidedStateDynamics(0), CheckFailure);
+}
+
+// --------------------------------------------------------------- engine ----
+
+TEST(UsdEngineTest, ConstructionAndAccessors) {
+  UsdEngine engine({50, 30, 20}, 5, 1);
+  EXPECT_EQ(engine.population(), 105);
+  EXPECT_EQ(engine.num_opinions(), 3u);
+  EXPECT_EQ(engine.undecided(), 5);
+  EXPECT_EQ(engine.opinion_count(0), 50);
+  EXPECT_EQ(engine.opinion_count(2), 20);
+  EXPECT_EQ(engine.surviving_opinions(), 3u);
+  EXPECT_EQ(engine.max_opinion_count(), 50);
+  EXPECT_EQ(engine.min_opinion_count(), 20);
+  EXPECT_EQ(engine.delta_max(), 30);
+  EXPECT_THROW(engine.opinion_count(3), CheckFailure);
+}
+
+TEST(UsdEngineTest, RejectsBadConstruction) {
+  EXPECT_THROW(UsdEngine({}, 1), CheckFailure);
+  EXPECT_THROW(UsdEngine({-1, 2}, 1), CheckFailure);
+  EXPECT_THROW(UsdEngine({1}, -1, 1), CheckFailure);
+  EXPECT_THROW(UsdEngine({1}, 0, 1), CheckFailure);  // population 1
+}
+
+TEST(UsdEngineTest, PopulationConservedOverRun) {
+  UsdEngine engine({400, 300, 300}, 7);
+  for (int i = 0; i < 20000; ++i) {
+    engine.step();
+    const auto& c = engine.counts();
+    ASSERT_EQ(std::accumulate(c.begin(), c.end(), Count{0}), 1000);
+  }
+}
+
+TEST(UsdEngineTest, StabilizationDetection) {
+  // Monochromatic opinion: stable from the start.
+  UsdEngine mono({10, 0}, 1);
+  EXPECT_TRUE(mono.stabilized());
+  ASSERT_TRUE(mono.winner().has_value());
+  EXPECT_EQ(*mono.winner(), 0u);
+
+  // All undecided: stable, no winner.
+  UsdEngine all_undecided({0, 0}, 10, 1);
+  EXPECT_TRUE(all_undecided.stabilized());
+  EXPECT_FALSE(all_undecided.winner().has_value());
+
+  // Active configuration.
+  UsdEngine active({5, 5}, 1);
+  EXPECT_FALSE(active.stabilized());
+  EXPECT_FALSE(active.winner().has_value());
+
+  // Opinion + undecided: adoption still possible.
+  UsdEngine adopt({5, 0}, 5, 1);
+  EXPECT_FALSE(adopt.stabilized());
+}
+
+TEST(UsdEngineTest, TwoAgentClashThenAbsorbed) {
+  // Two agents of different opinions must clash to all-undecided (the only
+  // reachable stable state for n = 2 without bias).
+  UsdEngine engine({1, 1}, 42);
+  EXPECT_TRUE(engine.run_until_stable(100));
+  EXPECT_EQ(engine.undecided(), 2);
+  EXPECT_FALSE(engine.winner().has_value());
+}
+
+TEST(UsdEngineTest, StepReportsStateChanges) {
+  // From all-same-opinion-plus-one-other every non-null step changes counts.
+  UsdEngine engine({2, 2}, 3);
+  int changes = 0;
+  for (int i = 0; i < 50 && !engine.stabilized(); ++i) {
+    if (engine.step()) ++changes;
+  }
+  EXPECT_GT(changes, 0);
+}
+
+TEST(UsdEngineTest, DeterministicForSeed) {
+  UsdEngine a({600, 400}, 31337);
+  UsdEngine b({600, 400}, 31337);
+  a.run_until_stable(1'000'000);
+  b.run_until_stable(1'000'000);
+  EXPECT_EQ(a.interactions(), b.interactions());
+  EXPECT_EQ(a.counts(), b.counts());
+}
+
+TEST(UsdEngineTest, SnapshotMatchesCounts) {
+  UsdEngine engine({30, 20, 10}, 4, 9);
+  for (int i = 0; i < 100; ++i) engine.step();
+  const Configuration snap = engine.snapshot();
+  EXPECT_EQ(snap.counts(), engine.counts());
+  EXPECT_EQ(snap.population(), engine.population());
+}
+
+TEST(UsdEngineTest, RunObservedVisitsEveryInteraction) {
+  UsdEngine engine({50, 50}, 77);
+  Interactions observed = 0;
+  engine.run_observed(1000, [&](const UsdEngine&) { ++observed; });
+  EXPECT_EQ(observed, engine.interactions());
+}
+
+TEST(UsdEngineTest, RunUntilPredicate) {
+  UsdEngine engine({500, 500}, 13);
+  const bool hit = engine.run_until(
+      1'000'000, [](const UsdEngine& e) { return e.undecided() >= 100; });
+  EXPECT_TRUE(hit);
+  EXPECT_GE(engine.undecided(), 100);
+}
+
+// -------------------------------------------- engine/simulator agreement ----
+
+TEST(UsdEngineTest, DistributionMatchesGenericSimulator) {
+  // The specialized engine and the generic table-driven simulator implement
+  // the same Markov chain. Compare the mean undecided count after a fixed
+  // number of interactions over many trials; the two means must agree
+  // within Monte-Carlo error.
+  constexpr int kTrials = 300;
+  constexpr Interactions kSteps = 2000;
+  RunningStats engine_u;
+  RunningStats simulator_u;
+  const UndecidedStateDynamics usd(3);
+  for (int t = 0; t < kTrials; ++t) {
+    UsdEngine engine({40, 30, 30}, 500 + static_cast<std::uint64_t>(t));
+    for (Interactions i = 0; i < kSteps; ++i) engine.step();
+    engine_u.add(static_cast<double>(engine.undecided()));
+
+    Simulator sim(usd, Configuration({0, 40, 30, 30}),
+                  90000 + static_cast<std::uint64_t>(t));
+    for (Interactions i = 0; i < kSteps; ++i) sim.step();
+    simulator_u.add(
+        static_cast<double>(sim.configuration().count(UndecidedStateDynamics::kUndecided)));
+  }
+  const double tolerance = 4.0 * (engine_u.sem() + simulator_u.sem());
+  EXPECT_NEAR(engine_u.mean(), simulator_u.mean(), tolerance);
+}
+
+// ----------------------------------------------------- consensus quality ----
+
+TEST(UsdEngineTest, LargeBiasMajorityWinsAllTrials) {
+  // n = 4000, k = 2, bias 800 >> √(n ln n) ≈ 182: the majority must win in
+  // every one of 20 trials (failure probability is cosmically small).
+  auto trial = [](std::uint64_t seed, std::size_t) {
+    UsdEngine engine({2400, 1600}, seed);
+    engine.run_until_stable(50'000'000);
+    TrialResult r;
+    r.stabilized = engine.stabilized();
+    r.winner = engine.winner();
+    r.parallel_time = engine.time();
+    return r;
+  };
+  const auto results = run_trials(trial, 20, 4242, 0);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.stabilized);
+    ASSERT_TRUE(r.winner.has_value());
+    EXPECT_EQ(*r.winner, 0u);
+  }
+}
+
+TEST(UsdEngineTest, MultiOpinionBiasMajorityWins) {
+  // k = 8, majority has a huge lead: opinion 0 wins.
+  std::vector<Count> counts(8, 100);
+  counts[0] = 400;
+  auto trial = [&counts](std::uint64_t seed, std::size_t) {
+    UsdEngine engine(counts, seed);
+    engine.run_until_stable(100'000'000);
+    TrialResult r;
+    r.stabilized = engine.stabilized();
+    r.winner = engine.winner();
+    return r;
+  };
+  const auto results = run_trials(trial, 10, 777, 0);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.stabilized);
+    ASSERT_TRUE(r.winner.has_value());
+    EXPECT_EQ(*r.winner, 0u);
+  }
+}
+
+TEST(UsdEngineTest, SurvivingOpinionsMonotoneNonIncreasing) {
+  UsdEngine engine({100, 100, 100, 100}, 21);
+  std::size_t prev = engine.surviving_opinions();
+  engine.run_observed(500'000, [&prev](const UsdEngine& e) {
+    ASSERT_LE(e.surviving_opinions(), prev);
+    prev = e.surviving_opinions();
+  });
+}
+
+}  // namespace
+}  // namespace ppsim
