@@ -13,7 +13,8 @@
 // constants.
 //
 // Flags: --n, --trials, --seed, --kmin, --kmax (sweep is geometric-ish),
-//        --threads.
+//        --threads, --engine sequential|batched (batched makes paper-scale n
+//        practical), --round-divisor, --json (empty disables the report).
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -22,8 +23,10 @@
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/analysis/scaling.hpp"
+#include "ppsim/core/batched_simulator.hpp"
 #include "ppsim/core/runner.hpp"
 #include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
 #include "ppsim/util/stats.hpp"
 
@@ -41,7 +44,12 @@ int run(int argc, char** argv) {
   // default sweep tops out at 32 (the bound degenerates beyond).
   const std::int64_t kmax = cli.get_int("kmax", 32);
   const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const std::string engine = cli.get_string("engine", "sequential");
+  const Interactions round_divisor = cli.get_int("round-divisor", 16);
+  const std::string json_path = cli.get_string("json", "BENCH_scaling_lower_bound.json");
   cli.validate_no_unknown_flags();
+  PPSIM_CHECK(engine == "sequential" || engine == "batched",
+              "--engine must be sequential or batched");
 
   benchutil::banner("scaling_lower_bound",
                     "Theorem 3.5: stabilization time vs k, against LB (k/25)ln(sqrt(n)/(k ln n)) "
@@ -49,6 +57,7 @@ int run(int argc, char** argv) {
   benchutil::param("n", n);
   benchutil::param("trials per k", static_cast<std::int64_t>(trials));
   benchutil::param("seed", static_cast<std::int64_t>(seed));
+  benchutil::param("engine", engine);
 
   std::vector<std::size_t> ks;
   for (std::int64_t k = kmin; k <= kmax; k = (k * 3) / 2) {
@@ -58,17 +67,30 @@ int run(int argc, char** argv) {
   Table table({"k", "bias", "mean_parallel_time", "min", "max", "lower_bound",
                "upper_bound_kln_n", "measured_over_lb"});
   std::vector<ScalingPoint> points;
+  std::vector<benchutil::JsonObject> json_rows;
 
   for (const std::size_t k : ks) {
     const InitialConfig init = figure1_configuration(n, k);
+    const UndecidedStateDynamics usd(k);
+    const Configuration initial =
+        UndecidedStateDynamics::initial_configuration(init.opinion_counts);
     auto trial = [&](std::uint64_t trial_seed, std::size_t) {
-      UsdEngine engine(init.opinion_counts, trial_seed);
-      engine.run_until_stable(100000 * n);
       TrialResult r;
-      r.stabilized = engine.stabilized();
-      r.interactions = engine.interactions();
-      r.parallel_time = engine.time();
-      r.winner = engine.winner();
+      if (engine == "batched") {
+        BatchedSimulator sim(usd, initial, trial_seed, {.round_divisor = round_divisor});
+        const RunOutcome out = sim.run_until_stable(100000 * n);
+        r.stabilized = out.stabilized;
+        r.interactions = out.interactions;
+        r.parallel_time = sim.parallel_time();
+        r.winner = out.consensus;
+      } else {
+        UsdEngine e(init.opinion_counts, trial_seed);
+        e.run_until_stable(100000 * n);
+        r.stabilized = e.stabilized();
+        r.interactions = e.interactions();
+        r.parallel_time = e.time();
+        r.winner = e.winner();
+      }
       return r;
     };
     const auto results = run_trials(trial, trials, seed + k, threads);
@@ -87,6 +109,16 @@ int run(int argc, char** argv) {
         .cell(lb > 0 ? mean / lb : 0.0, 2)
         .done();
     points.push_back({n, k, mean});
+    benchutil::JsonObject row;
+    row.field("k", static_cast<std::int64_t>(k))
+        .field("bias", init.bias)
+        .field("mean_parallel_time", mean)
+        .field("min", agg.parallel_time.min())
+        .field("max", agg.parallel_time.max())
+        .field("lower_bound", lb)
+        .field("upper_bound_kln_n", ub)
+        .field("stabilized", static_cast<std::int64_t>(agg.stabilized));
+    json_rows.push_back(row);
     std::cout << "  k=" << k << " done: mean parallel time " << format_double(mean, 2)
               << " (" << agg.stabilized << "/" << trials << " stabilized, majority won "
               << format_double(agg.win_rate(0) * 100.0, 1) << "%)\n";
@@ -113,6 +145,23 @@ int run(int argc, char** argv) {
   const bool linear_in_k = fit.affine_in_k.r_squared > 0.9;
   std::cout << (linear_in_k ? "growth is linear in k (R^2 > 0.9)\n"
                             : "WARNING: growth not cleanly linear in k\n");
+
+  if (!json_path.empty()) {
+    benchutil::JsonObject report;
+    report.field("bench", "scaling_lower_bound")
+        .field("n", n)
+        .field("trials_per_k", static_cast<std::int64_t>(trials))
+        .field("seed", static_cast<std::int64_t>(seed))
+        .field("engine", engine)
+        .field("round_divisor", round_divisor)
+        .field("rows", json_rows)
+        .field("affine_slope", fit.affine_in_k.slope)
+        .field("affine_r_squared", fit.affine_in_k.r_squared)
+        .field("min_ratio_to_lower_bound", fit.min_ratio_to_lower_bound)
+        .field("lower_bound_holds", fit.min_ratio_to_lower_bound >= 1.0);
+    report.write_file(json_path);
+    std::cout << "json report written to " << json_path << "\n";
+  }
   return fit.min_ratio_to_lower_bound >= 1.0 ? 0 : 1;
 }
 

@@ -1,94 +1,165 @@
-// Google-benchmark microbenches for the simulation engines: interactions per
-// second of the specialized USD engine (vs k), the table-driven generic
-// engine, the virtual-dispatch engine, and gossip rounds per second. These
-// justify the engineering choices (Fenwick sampling, table dispatch) and let
-// regressions show up in CI.
-#include <benchmark/benchmark.h>
+// Engine throughput shoot-out: sequential vs. batched simulation of USD on
+// the paper's Figure-1 configuration, at paper scale by default (n = 10⁷,
+// k = 3). Three engines run the same workload to stabilization:
+//
+//   * sequential  — generic table-driven Simulator, one interaction/step;
+//   * specialized — UsdEngine, the hand-tuned sequential USD engine;
+//   * batched     — BatchedSimulator, Θ(n) interactions per O(q²) round.
+//
+// Reports wall-clock seconds, simulated interactions, interactions/second
+// and the batched-vs-sequential speedup; the same numbers are written as
+// JSON (--json, default BENCH_throughput.json) so CI can track the perf
+// trajectory across commits.
+//
+// Flags: --n, --k, --trials, --seed, --max-parallel, --round-divisor,
+//        --json (empty string disables the file).
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include <optional>
-
+#include "bench_common.hpp"
 #include "ppsim/analysis/initial.hpp"
-#include "ppsim/core/gossip.hpp"
+#include "ppsim/core/batched_simulator.hpp"
 #include "ppsim/core/simulator.hpp"
 #include "ppsim/protocols/usd.hpp"
-#include "ppsim/protocols/usd_gossip.hpp"
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/table.hpp"
 
 namespace {
 
 using namespace ppsim;
 
-void BM_UsdEngineStep(benchmark::State& state) {
-  const Count n = 100'000;
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const InitialConfig init = figure1_configuration(n, k);
-  UsdEngine engine(init.opinion_counts, 42);
-  for (auto _ : state) {
-    engine.step();
-    // Near-stable configurations distort per-step cost; restart well before.
-    if (engine.stabilized()) {
-      state.PauseTiming();
-      engine = UsdEngine(init.opinion_counts, 42);
-      state.ResumeTiming();
-    }
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_UsdEngineStep)->Arg(2)->Arg(8)->Arg(27)->Arg(64)->Arg(256);
+struct EngineRun {
+  std::string engine;
+  double wall_seconds = 0.0;
+  Interactions interactions = 0;
+  double interactions_per_second = 0.0;
+  bool stabilized = true;  ///< true iff *every* trial stabilized in budget
+};
 
-void BM_GenericTableEngineStep(benchmark::State& state) {
-  const Count n = 100'000;
-  const auto k = static_cast<std::size_t>(state.range(0));
+template <typename MakeAndRun>
+EngineRun measure(const std::string& name, std::size_t trials, MakeAndRun&& run_once) {
+  EngineRun r;
+  r.engine = name;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto [interactions, stabilized] = run_once(t);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    r.wall_seconds += elapsed.count();
+    r.interactions += interactions;
+    r.stabilized = r.stabilized && stabilized;
+  }
+  r.interactions_per_second =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.interactions) / r.wall_seconds : 0.0;
+  return r;
+}
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const Count n = cli.get_int("n", 10'000'000);
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 3));
+  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 1));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const double max_parallel = cli.get_double("max-parallel", 1000.0);
+  const Interactions round_divisor = cli.get_int("round-divisor", 16);
+  const std::string json_path = cli.get_string("json", "BENCH_throughput.json");
+  cli.validate_no_unknown_flags();
+
+  benchutil::banner("throughput",
+                    "wall-clock comparison of the USD engines on one workload: "
+                    "sequential (generic + specialized) vs batched rounds");
+  benchutil::param("n", n);
+  benchutil::param("k", static_cast<std::int64_t>(k));
+  benchutil::param("trials", static_cast<std::int64_t>(trials));
+  benchutil::param("seed", static_cast<std::int64_t>(seed));
+  benchutil::param("max parallel time", max_parallel);
+  benchutil::param("batched round divisor", round_divisor);
+
+  const InitialConfig init = figure1_configuration(n, k);
+  const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
   const UndecidedStateDynamics usd(k);
-  const InitialConfig init = figure1_configuration(n, k);
-  std::vector<Count> counts;
-  counts.push_back(0);
-  counts.insert(counts.end(), init.opinion_counts.begin(), init.opinion_counts.end());
-  Simulator sim(usd, Configuration(counts), 42, Simulator::Engine::kTable);
-  for (auto _ : state) {
-    sim.step();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GenericTableEngineStep)->Arg(2)->Arg(27)->Arg(256);
+  const Configuration initial =
+      UndecidedStateDynamics::initial_configuration(init.opinion_counts);
 
-void BM_GenericVirtualEngineStep(benchmark::State& state) {
-  const Count n = 100'000;
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const UndecidedStateDynamics usd(k);
-  const InitialConfig init = figure1_configuration(n, k);
-  std::vector<Count> counts;
-  counts.push_back(0);
-  counts.insert(counts.end(), init.opinion_counts.begin(), init.opinion_counts.end());
-  Simulator sim(usd, Configuration(counts), 42, Simulator::Engine::kVirtual);
-  for (auto _ : state) {
-    sim.step();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GenericVirtualEngineStep)->Arg(27);
+  std::vector<EngineRun> runs;
+  runs.push_back(measure("sequential", trials, [&](std::size_t t) {
+    Simulator sim(usd, initial, seed + t, Simulator::Engine::kTable);
+    const RunOutcome out = sim.run_until_stable(budget);
+    return std::pair(out.interactions, out.stabilized);
+  }));
+  std::cout << "  sequential done\n";
+  runs.push_back(measure("specialized", trials, [&](std::size_t t) {
+    UsdEngine engine(init.opinion_counts, seed + t);
+    const bool stabilized = engine.run_until_stable(budget);
+    return std::pair(engine.interactions(), stabilized);
+  }));
+  std::cout << "  specialized done\n";
+  runs.push_back(measure("batched", trials, [&](std::size_t t) {
+    BatchedSimulator sim(usd, initial, seed + t, {.round_divisor = round_divisor});
+    const RunOutcome out = sim.run_until_stable(budget);
+    return std::pair(out.interactions, out.stabilized);
+  }));
+  std::cout << "  batched done\n";
 
-void BM_GossipRound(benchmark::State& state) {
-  const Count n = 100'000;
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const UsdGossipRule rule(k);
-  const InitialConfig init = figure1_configuration(n, k);
-  // GossipEngine holds a reference to the rule and is not reassignable;
-  // keep it in an optional and re-emplace to restart.
-  std::optional<GossipEngine> engine;
-  engine.emplace(rule, rule.initial(init.opinion_counts), 42);
-  for (auto _ : state) {
-    engine->step_round();
-    if (engine->is_stable()) {
-      state.PauseTiming();
-      engine.emplace(rule, rule.initial(init.opinion_counts), 42);
-      state.ResumeTiming();
+  Table table({"engine", "wall_seconds", "interactions", "interactions_per_sec",
+               "stabilized"});
+  for (const EngineRun& r : runs) {
+    table.row()
+        .cell(r.engine)
+        .cell(r.wall_seconds, 4)
+        .cell(r.interactions)
+        .cell(r.interactions_per_second, 0)
+        .cell(static_cast<std::int64_t>(r.stabilized))
+        .done();
+  }
+  benchutil::tsv_block("throughput", table);
+  table.write_pretty(std::cout);
+
+  const double speedup_vs_sequential =
+      runs[2].wall_seconds > 0.0 ? runs[0].wall_seconds / runs[2].wall_seconds : 0.0;
+  const double speedup_vs_specialized =
+      runs[2].wall_seconds > 0.0 ? runs[1].wall_seconds / runs[2].wall_seconds : 0.0;
+  std::cout << "\nbatched vs sequential  (wall-clock): "
+            << format_double(speedup_vs_sequential, 1) << "x\n"
+            << "batched vs specialized (wall-clock): "
+            << format_double(speedup_vs_specialized, 1) << "x\n";
+
+  if (!json_path.empty()) {
+    std::vector<benchutil::JsonObject> engines;
+    for (const EngineRun& r : runs) {
+      benchutil::JsonObject o;
+      o.field("engine", r.engine)
+          .field("wall_seconds", r.wall_seconds)
+          .field("interactions", r.interactions)
+          .field("interactions_per_second", r.interactions_per_second)
+          .field("stabilized", r.stabilized);
+      engines.push_back(o);
     }
+    benchutil::JsonObject report;
+    report.field("bench", "throughput")
+        .field("n", n)
+        .field("k", static_cast<std::int64_t>(k))
+        .field("trials", static_cast<std::int64_t>(trials))
+        .field("seed", static_cast<std::int64_t>(seed))
+        .field("round_divisor", round_divisor)
+        .field("engines", engines)
+        .field("speedup_batched_vs_sequential", speedup_vs_sequential)
+        .field("speedup_batched_vs_specialized", speedup_vs_specialized);
+    report.write_file(json_path);
+    std::cout << "json report written to " << json_path << "\n";
   }
-  // A round is n agent-updates.
-  state.SetItemsProcessed(state.iterations() * n);
+  return 0;
 }
-BENCHMARK(BM_GossipRound)->Arg(2)->Arg(27)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -6,17 +6,25 @@
 //   ppsim_run --protocol four-state --n 10000 --bias 100 --trials 20
 //   ppsim_run --protocol usd-gossip --n 50000 --k 4
 //   ppsim_run --protocol usd --n 100000 --k 8 --series out.tsv
+//   ppsim_run --protocol usd --n 10000000 --k 3 --engine batched
 //
 // Protocols: usd | usd-gossip | three-majority | four-state | averaging |
 //            cancel-duplicate | leader-election | epidemic.
 // --bias auto = sqrt(n ln n). --series FILE writes the USD time series.
+// --engine auto | sequential | virtual | batched selects the generic engine
+// (auto keeps each protocol's tuned default; batched trades τ-leaping
+// round granularity for orders of magnitude in wall clock — see README.md).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/engine.hpp"
 #include "ppsim/core/gossip.hpp"
+#include "ppsim/core/recorder.hpp"
 #include "ppsim/core/runner.hpp"
 #include "ppsim/core/simulator.hpp"
 #include "ppsim/protocols/averaging_majority.hpp"
@@ -27,6 +35,7 @@
 #include "ppsim/protocols/three_majority.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/protocols/usd_gossip.hpp"
+#include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
 #include "ppsim/util/table.hpp"
 
@@ -61,7 +70,15 @@ int run(int argc, char** argv) {
   const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 1));
   const double max_parallel = cli.get_double("max-parallel", 100000.0);
   const std::string series_path = cli.get_string("series", "");
+  const std::string engine_flag = cli.get_string("engine", "auto");
   cli.validate_no_unknown_flags();
+
+  std::optional<EngineKind> engine_override;
+  if (engine_flag != "auto") {
+    engine_override = parse_engine(engine_flag);
+    PPSIM_CHECK(engine_override.has_value(),
+                "--engine must be auto | sequential | virtual | batched");
+  }
 
   const Count bias =
       bias_flag == "auto"
@@ -74,24 +91,95 @@ int run(int argc, char** argv) {
 
   if (protocol == "usd") {
     const InitialConfig init = adversarial_configuration(n, k, bias);
-    // Optional time series from the first trial.
+    // Optional time series from the first trial, produced by the *selected*
+    // engine (specialized sequential UsdEngine under --engine auto, the
+    // generic facade otherwise) so the series and the aggregate below always
+    // describe the same simulation.
     if (!series_path.empty()) {
-      UsdEngine engine(init.opinion_counts, trial_seed(seed, 0));
       std::ofstream out(series_path);
       PPSIM_CHECK(out.good(), "cannot open series file " + series_path);
-      out << "parallel_time\tundecided\tmajority\tdelta_max\tsurvivors\n";
       const Interactions stride = std::max<Interactions>(1, n / 10);
-      Interactions next = 0;
-      while (!engine.stabilized() && engine.interactions() < budget) {
-        if (engine.interactions() >= next) {
-          out << engine.time() << '\t' << engine.undecided() << '\t'
-              << engine.opinion_count(0) << '\t' << engine.delta_max() << '\t'
-              << engine.surviving_opinions() << '\n';
-          next = engine.interactions() + stride;
+      if (engine_override.has_value()) {
+        // Generic engines sample through the Recorder (one projection per
+        // paper observable); run_until stops at stability or budget.
+        Recorder rec(stride);
+        rec.add_channel("undecided", [](const Configuration& c, Interactions) {
+          return static_cast<double>(c.count(UndecidedStateDynamics::kUndecided));
+        });
+        rec.add_channel("majority", [](const Configuration& c, Interactions) {
+          return static_cast<double>(c.count(UndecidedStateDynamics::opinion_state(0)));
+        });
+        rec.add_channel("delta_max", [k](const Configuration& c, Interactions) {
+          Count max_op = 0;
+          Count min_op = c.population();
+          for (std::size_t op = 0; op < k; ++op) {
+            const Count x =
+                c.count(UndecidedStateDynamics::opinion_state(static_cast<Opinion>(op)));
+            max_op = std::max(max_op, x);
+            min_op = std::min(min_op, x);
+          }
+          return static_cast<double>(max_op - min_op);
+        });
+        rec.add_channel("survivors", [k](const Configuration& c, Interactions) {
+          std::size_t survivors = 0;
+          for (std::size_t op = 0; op < k; ++op) {
+            if (c.count(UndecidedStateDynamics::opinion_state(static_cast<Opinion>(op))) > 0) {
+              ++survivors;
+            }
+          }
+          return static_cast<double>(survivors);
+        });
+        const UndecidedStateDynamics usd(k);
+        Engine engine(*engine_override, usd,
+                      UndecidedStateDynamics::initial_configuration(init.opinion_counts),
+                      trial_seed(seed, 0));
+        engine.run_until(
+            [&](const Configuration& c, Interactions i) {
+              rec.maybe_sample(c, i);
+              return false;  // sampling only; the engine stops at stability
+            },
+            budget);
+        // Capture the end state unless the strided sampler just did.
+        if (rec.series().parallel_time.empty() ||
+            rec.series().parallel_time.back() != engine.parallel_time()) {
+          rec.sample(engine.configuration(), engine.interactions());
         }
-        engine.step();
+        std::move(rec).take_series().write_tsv(out);
+      } else {
+        // The specialized engine exposes O(1) observables; read them
+        // directly instead of snapshotting a Configuration per interaction.
+        UsdEngine engine(init.opinion_counts, trial_seed(seed, 0));
+        out << "parallel_time\tundecided\tmajority\tdelta_max\tsurvivors\n";
+        Interactions next = 0;
+        while (!engine.stabilized() && engine.interactions() < budget) {
+          if (engine.interactions() >= next) {
+            out << engine.time() << '\t' << engine.undecided() << '\t'
+                << engine.opinion_count(0) << '\t' << engine.delta_max() << '\t'
+                << engine.surviving_opinions() << '\n';
+            next = engine.interactions() + stride;
+          }
+          engine.step();
+        }
       }
       std::cout << "series written to " << series_path << "\n";
+    }
+    if (engine_override.has_value()) {
+      // Explicit engine choice routes USD through the generic facade (the
+      // default keeps the specialized sequential UsdEngine below).
+      const UndecidedStateDynamics usd(k);
+      const Configuration initial =
+          UndecidedStateDynamics::initial_configuration(init.opinion_counts);
+      auto trial = [&](std::uint64_t s, std::size_t) {
+        Engine engine(*engine_override, usd, initial, s);
+        const RunOutcome out = engine.run_until_stable(budget);
+        TrialResult r;
+        r.stabilized = out.stabilized;
+        r.parallel_time = engine.parallel_time();
+        r.winner = out.consensus;
+        return r;
+      };
+      print_aggregate(aggregate(run_trials(trial, trials, seed, 0)));
+      return 0;
     }
     auto trial = [&](std::uint64_t s, std::size_t) {
       UsdEngine engine(init.opinion_counts, s);
@@ -104,6 +192,14 @@ int run(int argc, char** argv) {
     };
     print_aggregate(aggregate(run_trials(trial, trials, seed, 0)));
     return 0;
+  }
+
+  // The remaining round-based protocols run model-specific engines; reject
+  // --engine instead of silently ignoring it.
+  if (protocol == "usd-gossip" || protocol == "three-majority") {
+    PPSIM_CHECK(!engine_override.has_value(),
+                "--engine has no effect for " + protocol +
+                    " (it runs a model-specific synchronous engine)");
   }
 
   if (protocol == "usd-gossip") {
@@ -140,11 +236,13 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  // Two-party generic-simulator protocols share one driver.
+  // Two-party generic-simulator protocols share one driver; --engine
+  // overrides each protocol's default engine kind.
   auto run_generic = [&](const Protocol& p, Configuration initial,
-                         Simulator::Engine engine_kind) {
+                         EngineKind default_kind) {
+    const EngineKind kind = engine_override.value_or(default_kind);
     auto trial = [&](std::uint64_t s, std::size_t) {
-      Simulator sim(p, initial, s, engine_kind);
+      Engine sim(kind, p, initial, s);
       const RunOutcome out = sim.run_until_stable(budget);
       TrialResult r;
       r.stabilized = out.stabilized;
@@ -159,19 +257,19 @@ int run(int argc, char** argv) {
   const Count b = n - a;
   if (protocol == "four-state") {
     const FourStateMajority p;
-    run_generic(p, FourStateMajority::initial(a, b), Simulator::Engine::kTable);
+    run_generic(p, FourStateMajority::initial(a, b), EngineKind::kSequential);
   } else if (protocol == "averaging") {
     const AveragingMajority p(std::max<Count>(64, n));
-    run_generic(p, p.initial(a, b), Simulator::Engine::kVirtual);
+    run_generic(p, p.initial(a, b), EngineKind::kSequentialVirtual);
   } else if (protocol == "cancel-duplicate") {
     const CancellationDuplication p(4);
-    run_generic(p, p.initial(a, b), Simulator::Engine::kTable);
+    run_generic(p, p.initial(a, b), EngineKind::kSequential);
   } else if (protocol == "leader-election") {
     const LeaderElection p;
-    run_generic(p, LeaderElection::initial(n), Simulator::Engine::kTable);
+    run_generic(p, LeaderElection::initial(n), EngineKind::kSequential);
   } else if (protocol == "epidemic") {
     const Epidemic p;
-    run_generic(p, Epidemic::initial(n, 1), Simulator::Engine::kTable);
+    run_generic(p, Epidemic::initial(n, 1), EngineKind::kSequential);
   } else {
     std::cerr << "unknown protocol: " << protocol
               << " (usd | usd-gossip | three-majority | four-state | averaging |"

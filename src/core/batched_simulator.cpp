@@ -1,0 +1,136 @@
+#include "ppsim/core/batched_simulator.hpp"
+
+#include <algorithm>
+
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/random_variates.hpp"
+
+namespace ppsim {
+
+BatchedSimulator::BatchedSimulator(const Protocol& protocol, Configuration initial,
+                                   std::uint64_t seed, Options options)
+    : protocol_(protocol),
+      table_(protocol),
+      config_(std::move(initial)),
+      rng_(seed) {
+  PPSIM_CHECK(config_.num_states() == protocol.num_states(),
+              "configuration size must match the protocol's state space");
+  PPSIM_CHECK(config_.population() >= 2, "population must have at least two agents");
+  PPSIM_CHECK(options.round_divisor > 0, "round divisor must be positive");
+  round_size_ = std::max<Interactions>(1, config_.population() / options.round_divisor);
+}
+
+BatchedSimulator::BatchedSimulator(const Protocol& protocol, Configuration initial,
+                                   std::uint64_t seed)
+    : BatchedSimulator(protocol, std::move(initial), seed, Options()) {}
+
+Interactions BatchedSimulator::step_round(Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  const Interactions batch = std::min(round_size_, max_interactions);
+  if (batch == 0) return 0;
+
+  const auto n = static_cast<double>(config_.population());
+  const double total_weight = n * (n - 1.0);  // ordered pairs of distinct agents
+
+  // Enumerate the active non-null ordered pairs and their weights.
+  pair_a_.clear();
+  pair_b_.clear();
+  pair_weight_.clear();
+  const auto& counts = config_.counts();
+  const auto q = static_cast<State>(config_.num_states());
+  double active_weight = 0.0;
+  for (State a = 0; a < q; ++a) {
+    if (counts[a] == 0) continue;
+    for (State b = 0; b < q; ++b) {
+      if (counts[b] == 0) continue;
+      if (a == b && counts[a] < 2) continue;
+      if (table_.is_null(a, b)) continue;
+      const double w = static_cast<double>(counts[a]) *
+                       static_cast<double>(a == b ? counts[b] - 1 : counts[b]);
+      pair_a_.push_back(a);
+      pair_b_.push_back(b);
+      pair_weight_.push_back(w);
+      active_weight += w;
+    }
+  }
+
+  interactions_ += batch;
+  if (pair_weight_.empty()) return batch;  // stable: every interaction is null
+
+  // Split the round into null and non-null interactions, then distribute the
+  // non-null ones over the active pairs. Grouping a multinomial's buckets and
+  // splitting the group afterwards is exact, so this two-stage draw has the
+  // same law as one multinomial over all q² pairs.
+  const Interactions active = binomial(rng_, batch, active_weight / total_weight);
+  if (active == 0) return batch;
+  const std::vector<std::int64_t> draws = multinomial(rng_, active, pair_weight_);
+
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    if (draws[i] == 0) continue;
+    const State a = pair_a_[i];
+    const State b = pair_b_[i];
+    const Transition t = table_.apply(a, b);
+    Interactions m = draws[i];
+    // Clamp to the live counts: earlier pairs in this round may have drained
+    // a state below what the start-of-round weights promised. Every clamp
+    // keeps the bulk result inside the sequential chain's reachable set:
+    // each (a, a) interaction needs two live a-agents, so with one leaver at
+    // most count-1 interactions can fire (never draining the state), and
+    // with two leavers at most count/2.
+    if (a == b) {
+      const int leavers = (t.initiator != a ? 1 : 0) + (t.responder != a ? 1 : 0);
+      const Interactions cap = leavers == 2 ? config_.count(a) / 2
+                                            : config_.count(a) - 1;
+      m = std::min(m, std::max<Interactions>(0, cap));
+      clamped_ += draws[i] - m;
+      if (m == 0) continue;
+      if (t.initiator != a) config_.move_agents(a, t.initiator, m);
+      if (t.responder != a) config_.move_agents(a, t.responder, m);
+    } else {
+      // Both participants must be live, even on the side f leaves unchanged.
+      if (config_.count(a) == 0 || config_.count(b) == 0) {
+        clamped_ += draws[i];
+        continue;
+      }
+      if (t.initiator != a) m = std::min<Interactions>(m, config_.count(a));
+      if (t.responder != b) m = std::min<Interactions>(m, config_.count(b));
+      clamped_ += draws[i] - m;
+      if (m == 0) continue;
+      // Remove both participants before re-adding so a swap transition
+      // (f(a,b) = (b,a)) never transiently overdraws either state.
+      config_.move_agents(a, t.initiator, m);
+      config_.move_agents(b, t.responder, m);
+    }
+  }
+  return batch;
+}
+
+RunOutcome BatchedSimulator::run_until_stable(Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  while (interactions_ < max_interactions) {
+    if (is_stable()) break;
+    step_round(max_interactions - interactions_);
+  }
+  return outcome();
+}
+
+RunOutcome BatchedSimulator::run_until(
+    const std::function<bool(const Configuration&, Interactions)>& predicate,
+    Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  while (interactions_ < max_interactions && !predicate(config_, interactions_)) {
+    if (is_stable()) break;
+    step_round(max_interactions - interactions_);
+  }
+  return outcome();
+}
+
+RunOutcome BatchedSimulator::outcome() const {
+  RunOutcome out;
+  out.stabilized = is_stable();
+  out.interactions = interactions_;
+  out.consensus = consensus_output();
+  return out;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,84 @@
+#include "ppsim/core/engine.hpp"
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+namespace {
+
+std::variant<Simulator, BatchedSimulator> make_impl(
+    EngineKind kind, const Protocol& protocol, Configuration initial,
+    std::uint64_t seed, BatchedSimulator::Options batched_options) {
+  switch (kind) {
+    case EngineKind::kSequential:
+      return std::variant<Simulator, BatchedSimulator>(
+          std::in_place_type<Simulator>, protocol, std::move(initial), seed,
+          Simulator::Engine::kTable);
+    case EngineKind::kSequentialVirtual:
+      return std::variant<Simulator, BatchedSimulator>(
+          std::in_place_type<Simulator>, protocol, std::move(initial), seed,
+          Simulator::Engine::kVirtual);
+    case EngineKind::kBatched:
+      return std::variant<Simulator, BatchedSimulator>(
+          std::in_place_type<BatchedSimulator>, protocol, std::move(initial), seed,
+          batched_options);
+  }
+  PPSIM_CHECK(false, "unknown engine kind");
+}
+
+}  // namespace
+
+std::string to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSequential: return "sequential";
+    case EngineKind::kSequentialVirtual: return "virtual";
+    case EngineKind::kBatched: return "batched";
+  }
+  return "unknown";
+}
+
+std::optional<EngineKind> parse_engine(const std::string& name) {
+  if (name == "sequential") return EngineKind::kSequential;
+  if (name == "virtual") return EngineKind::kSequentialVirtual;
+  if (name == "batched") return EngineKind::kBatched;
+  return std::nullopt;
+}
+
+Engine::Engine(EngineKind kind, const Protocol& protocol, Configuration initial,
+               std::uint64_t seed, BatchedSimulator::Options batched_options)
+    : kind_(kind),
+      impl_(make_impl(kind, protocol, std::move(initial), seed, batched_options)) {}
+
+const Configuration& Engine::configuration() const {
+  return std::visit([](const auto& e) -> const Configuration& { return e.configuration(); },
+                    impl_);
+}
+
+Interactions Engine::interactions() const {
+  return std::visit([](const auto& e) { return e.interactions(); }, impl_);
+}
+
+double Engine::parallel_time() const {
+  return std::visit([](const auto& e) { return e.parallel_time(); }, impl_);
+}
+
+RunOutcome Engine::run_until_stable(Interactions max_interactions) {
+  return std::visit([&](auto& e) { return e.run_until_stable(max_interactions); }, impl_);
+}
+
+RunOutcome Engine::run_until(
+    const std::function<bool(const Configuration&, Interactions)>& predicate,
+    Interactions max_interactions) {
+  return std::visit([&](auto& e) { return e.run_until(predicate, max_interactions); },
+                    impl_);
+}
+
+bool Engine::is_stable() const {
+  return std::visit([](const auto& e) { return e.is_stable(); }, impl_);
+}
+
+std::optional<Opinion> Engine::consensus_output() const {
+  return std::visit([](const auto& e) { return e.consensus_output(); }, impl_);
+}
+
+}  // namespace ppsim

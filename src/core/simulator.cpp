@@ -51,8 +51,16 @@ RunOutcome Simulator::run_until(
     const std::function<bool(const Configuration&, Interactions)>& predicate,
     Interactions max_interactions) {
   PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  Interactions next_stability_check = interactions_ + stability_stride_;
   while (interactions_ < max_interactions &&
          !predicate(config_, interactions_)) {
+    // Stop on stability like run_until_stable (and BatchedSimulator::
+    // run_until): once stable the configuration never changes again, so a
+    // configuration predicate that has not fired never will.
+    if (interactions_ >= next_stability_check) {
+      if (is_stable()) break;
+      next_stability_check = interactions_ + stability_stride_;
+    }
     step();
   }
   RunOutcome out;
@@ -81,16 +89,7 @@ bool Simulator::is_stable() const {
 }
 
 std::optional<Opinion> Simulator::consensus_output() const {
-  std::optional<Opinion> agreed;
-  const auto& counts = config_.counts();
-  for (State st = 0; st < config_.num_states(); ++st) {
-    if (counts[st] == 0) continue;
-    const std::optional<Opinion> o = protocol_.output(st);
-    if (!o.has_value()) return std::nullopt;  // some agent is uncommitted
-    if (agreed.has_value() && *agreed != *o) return std::nullopt;
-    agreed = o;
-  }
-  return agreed;
+  return ppsim::consensus_output(protocol_, config_);
 }
 
 void Simulator::set_stability_check_stride(Interactions stride) {

@@ -1,0 +1,63 @@
+// One switchable front door for the generic simulation engines.
+//
+// The library now has three ways to run a Protocol: the sequential
+// table-driven Simulator, the sequential virtual-dispatch Simulator, and the
+// round-based BatchedSimulator. Runner experiments, the benches and
+// examples/ppsim_run select between them with one EngineKind value instead
+// of hard-coding an engine type; Engine forwards the shared surface
+// (run_until_stable / run_until / RunOutcome / observables) to whichever
+// implementation the kind names.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "ppsim/core/batched_simulator.hpp"
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/protocol.hpp"
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/core/types.hpp"
+
+namespace ppsim {
+
+enum class EngineKind {
+  kSequential,         ///< Simulator, table-driven dispatch (exact)
+  kSequentialVirtual,  ///< Simulator, Protocol-vtable dispatch (exact)
+  kBatched,            ///< BatchedSimulator (τ-leaping rounds; see its header)
+};
+
+/// "sequential" | "virtual" | "batched" (flag values for benches/examples).
+std::string to_string(EngineKind kind);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<EngineKind> parse_engine(const std::string& name);
+
+class Engine {
+ public:
+  /// The protocol must outlive the engine. `batched_options` only applies to
+  /// EngineKind::kBatched.
+  Engine(EngineKind kind, const Protocol& protocol, Configuration initial,
+         std::uint64_t seed, BatchedSimulator::Options batched_options = {});
+
+  EngineKind kind() const noexcept { return kind_; }
+  const Configuration& configuration() const;
+  Interactions interactions() const;
+  double parallel_time() const;
+
+  RunOutcome run_until_stable(Interactions max_interactions);
+  /// Note: the batched engine checks the predicate once per round, the
+  /// sequential engines once per interaction.
+  RunOutcome run_until(
+      const std::function<bool(const Configuration&, Interactions)>& predicate,
+      Interactions max_interactions);
+  bool is_stable() const;
+  std::optional<Opinion> consensus_output() const;
+
+ private:
+  EngineKind kind_;
+  std::variant<Simulator, BatchedSimulator> impl_;
+};
+
+}  // namespace ppsim

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "ppsim/core/configuration.hpp"
 #include "ppsim/core/types.hpp"
 
 namespace ppsim {
@@ -40,5 +41,22 @@ class Protocol {
   Protocol(const Protocol&) = default;
   Protocol& operator=(const Protocol&) = default;
 };
+
+/// If every agent present in `config` outputs the same committed opinion
+/// under γ, returns it; nullopt if any agent is uncommitted or outputs
+/// disagree. Shared by every engine that reports a RunOutcome.
+inline std::optional<Opinion> consensus_output(const Protocol& protocol,
+                                               const Configuration& config) {
+  std::optional<Opinion> agreed;
+  const auto& counts = config.counts();
+  for (State s = 0; s < config.num_states(); ++s) {
+    if (counts[s] == 0) continue;
+    const std::optional<Opinion> o = protocol.output(s);
+    if (!o.has_value()) return std::nullopt;  // some agent is uncommitted
+    if (agreed.has_value() && *agreed != *o) return std::nullopt;
+    agreed = o;
+  }
+  return agreed;
+}
 
 }  // namespace ppsim

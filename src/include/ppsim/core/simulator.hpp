@@ -54,8 +54,11 @@ class Simulator {
   RunOutcome run_until_stable(Interactions max_interactions);
 
   /// Runs until `predicate(config, interactions)` is true (checked after
-  /// every interaction) or the budget is exhausted. Returns the outcome;
-  /// `stabilized` reflects protocol stability at exit.
+  /// every interaction), the protocol stabilizes (checked every
+  /// `stability_check_stride` interactions — once stable the configuration
+  /// is frozen, so an unfired configuration predicate never fires), or the
+  /// budget is exhausted. Returns the outcome; `stabilized` reflects
+  /// protocol stability at exit.
   RunOutcome run_until(
       const std::function<bool(const Configuration&, Interactions)>& predicate,
       Interactions max_interactions);

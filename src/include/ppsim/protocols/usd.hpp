@@ -39,6 +39,13 @@ class UndecidedStateDynamics final : public Protocol {
   /// State encoding an opinion (opinions are 0-based; state = opinion + 1).
   static State opinion_state(Opinion i) noexcept { return static_cast<State>(i + 1); }
 
+  /// Configuration over the k+1 USD states (k = opinion_counts.size()):
+  /// opinion_counts[i] agents on opinion i, `undecided` agents in ⊥. This is
+  /// the one place that knows the ⊥-first state layout — use it instead of
+  /// hand-prepending a zero to the counts.
+  static Configuration initial_configuration(const std::vector<Count>& opinion_counts,
+                                             Count undecided = 0);
+
   std::size_t num_opinions() const noexcept { return k_; }
   std::size_t num_states() const override { return k_ + 1; }
   Transition apply(State initiator, State responder) const override;

@@ -37,6 +37,16 @@ std::string UndecidedStateDynamics::state_name(State s) const {
   return s == kUndecided ? "⊥" : "op" + std::to_string(s - 1);
 }
 
+Configuration UndecidedStateDynamics::initial_configuration(
+    const std::vector<Count>& opinion_counts, Count undecided) {
+  PPSIM_CHECK(undecided >= 0, "undecided count must be non-negative");
+  std::vector<Count> counts;
+  counts.reserve(opinion_counts.size() + 1);
+  counts.push_back(undecided);
+  counts.insert(counts.end(), opinion_counts.begin(), opinion_counts.end());
+  return Configuration(std::move(counts));
+}
+
 UsdEngine::UsdEngine(std::vector<Count> opinion_counts, Count undecided,
                      std::uint64_t seed)
     : k_(opinion_counts.size()), rng_(seed) {

@@ -142,6 +142,38 @@ TEST(EngineEquivalenceTest, OneStepLawMatchesDriftOnEveryEngine) {
   EXPECT_NEAR(static_cast<double>(graph_clash) / kTrials, p_clash, 0.006);
 }
 
+TEST(EngineDeterminismTest, TableAndVirtualDispatchShareTrajectories) {
+  // kTable and kVirtual are two dispatch modes of the *same* engine: they
+  // draw the same pair from the same RNG stream and f is deterministic, so
+  // with equal seeds the trajectories must be identical step for step, not
+  // just distributionally.
+  const UndecidedStateDynamics usd(kK);
+  Simulator table(usd, Configuration({0, 25, 20, 15}), 1234,
+                  Simulator::Engine::kTable);
+  Simulator virt(usd, Configuration({0, 25, 20, 15}), 1234,
+                 Simulator::Engine::kVirtual);
+  for (int i = 0; i < 5000; ++i) {
+    const bool changed_table = table.step();
+    const bool changed_virt = virt.step();
+    ASSERT_EQ(changed_table, changed_virt) << "diverged at interaction " << i;
+    ASSERT_EQ(table.configuration(), virt.configuration())
+        << "diverged at interaction " << i;
+  }
+  EXPECT_EQ(table.interactions(), virt.interactions());
+}
+
+TEST(EngineDeterminismTest, SameSeedReproducesRunOutcome) {
+  const UndecidedStateDynamics usd(kK);
+  Simulator a(usd, Configuration({0, 25, 20, 15}), 777);
+  Simulator b(usd, Configuration({0, 25, 20, 15}), 777);
+  const RunOutcome oa = a.run_until_stable(1'000'000);
+  const RunOutcome ob = b.run_until_stable(1'000'000);
+  EXPECT_EQ(oa.stabilized, ob.stabilized);
+  EXPECT_EQ(oa.interactions, ob.interactions);
+  EXPECT_EQ(oa.consensus, ob.consensus);
+  EXPECT_EQ(a.configuration(), b.configuration());
+}
+
 TEST(EngineEquivalenceTest, StabilizationTimesShareDistribution) {
   // Full-run comparison: mean stabilization interactions across engines on
   // a biased two-party instance.

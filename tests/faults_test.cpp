@@ -74,6 +74,43 @@ TEST(FaultInjectorTest, RejectsBadRate) {
   EXPECT_THROW(UsdFaultInjector(1.5, 1), CheckFailure);
 }
 
+TEST(FaultInjectorTest, EmptyScheduleIsANoOp) {
+  // Zero-interaction schedule: no steps, no corruption draws, configuration
+  // untouched — and a negative budget is rejected rather than wrapping.
+  UsdFaultInjector injector(1.0, 3);
+  UsdEngine engine({30, 20}, 7);
+  const auto before = engine.counts();
+  injector.run(engine, 0);
+  EXPECT_EQ(engine.interactions(), 0);
+  EXPECT_EQ(injector.corruptions(), 0);
+  EXPECT_EQ(engine.counts(), before);
+  EXPECT_THROW(injector.run(engine, -1), CheckFailure);
+}
+
+TEST(FaultInjectorTest, SingleAgentPopulationIsRejectedAtTheBoundary) {
+  // The interaction model needs two distinct agents, so a one-agent engine
+  // cannot exist: the fault machinery never has to special-case it.
+  EXPECT_THROW(UsdEngine({1}, 1), CheckFailure);
+  EXPECT_THROW(UsdEngine({0, 0}, 1, 1), CheckFailure);
+  // Two agents is the smallest legal population; corruption still works.
+  UsdEngine tiny({1, 1}, 5);
+  UsdFaultInjector injector(1.0, 6);
+  injector.run(tiny, 50);
+  EXPECT_EQ(tiny.population(), 2);
+}
+
+TEST(FaultInjectorTest, RunOnStabilizedEngineStillConsumesSchedule) {
+  // run() deliberately ignores stabilized(): faults can re-activate the
+  // dynamics, so the schedule must keep stepping (and possibly corrupting)
+  // a consensus configuration.
+  UsdEngine engine({10, 0}, 4);
+  ASSERT_TRUE(engine.stabilized());
+  UsdFaultInjector injector(0.5, 8);
+  injector.run(engine, 2000);
+  EXPECT_EQ(engine.interactions(), 2000);
+  EXPECT_GT(injector.corruptions(), 0);
+}
+
 TEST(FaultToleranceTest, NearConsensusUnderSustainedFaults) {
   // Strong bias, small corruption rate: after the fault-free stabilization
   // horizon the system should hold a near-consensus (quality >= 0.9) even

@@ -1,0 +1,94 @@
+// Recorder edge cases: stride validation, stride larger than the whole run,
+// forced final samples, channel registration rules, and TSV round-trip of
+// the recorded series.
+#include "ppsim/core/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+Recorder::Projection count_of(State s) {
+  return [s](const Configuration& c, Interactions) {
+    return static_cast<double>(c.count(s));
+  };
+}
+
+TEST(RecorderTest, RejectsNonPositiveStride) {
+  EXPECT_THROW(Recorder(0), CheckFailure);
+  EXPECT_THROW(Recorder(-5), CheckFailure);
+}
+
+TEST(RecorderTest, StrideLargerThanRunKeepsOnlyInitialSample) {
+  // A stride beyond the run's horizon must still record the t = 0 sample
+  // (maybe_sample at interaction 0 always fires) and nothing else.
+  Recorder rec(1'000'000);
+  rec.add_channel("x", count_of(0));
+  const Configuration config({40, 60});
+  for (Interactions i = 0; i <= 500; ++i) rec.maybe_sample(config, i);
+  ASSERT_EQ(rec.series().num_samples(), 1u);
+  EXPECT_DOUBLE_EQ(rec.series().parallel_time[0], 0.0);
+  EXPECT_DOUBLE_EQ(rec.series().channels[0][0], 40.0);
+}
+
+TEST(RecorderTest, ForcedSampleCapturesFinalConfiguration) {
+  Recorder rec(1'000'000);
+  rec.add_channel("x", count_of(0));
+  Configuration config({40, 60});
+  rec.maybe_sample(config, 0);
+  config.move_agents(0, 1, 15);
+  rec.sample(config, 500);  // engines force a sample at run end
+  ASSERT_EQ(rec.series().num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(rec.series().channels[0][1], 25.0);
+  EXPECT_DOUBLE_EQ(rec.series().parallel_time[1], 5.0);  // 500 / n=100
+}
+
+TEST(RecorderTest, SamplesOncePerStride) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  const Configuration config({100});
+  for (Interactions i = 0; i < 100; ++i) rec.maybe_sample(config, i);
+  EXPECT_EQ(rec.series().num_samples(), 10u);
+}
+
+TEST(RecorderTest, ChannelsMustBeAddedBeforeFirstSample) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  const Configuration config({100});
+  rec.sample(config, 0);
+  EXPECT_THROW(rec.add_channel("late", count_of(0)), CheckFailure);
+}
+
+TEST(RecorderTest, ZeroChannelRecorderStillTracksTime) {
+  // Degenerate but legal: no channels, just the sampling clock.
+  Recorder rec(5);
+  const Configuration config({10});
+  rec.maybe_sample(config, 0);
+  rec.maybe_sample(config, 5);
+  EXPECT_EQ(rec.series().num_samples(), 2u);
+  EXPECT_TRUE(rec.series().channels.empty());
+}
+
+TEST(RecorderTest, WriteTsvAndTakeSeries) {
+  Recorder rec(10);
+  rec.add_channel("a", count_of(0));
+  rec.add_channel("b", count_of(1));
+  const Configuration config({30, 70});
+  rec.maybe_sample(config, 0);
+  rec.maybe_sample(config, 10);
+  const TimeSeries series = std::move(rec).take_series();
+  ASSERT_EQ(series.num_samples(), 2u);
+  std::ostringstream os;
+  series.write_tsv(os);
+  EXPECT_EQ(os.str(),
+            "parallel_time\ta\tb\n"
+            "0\t30\t70\n"
+            "0.1\t30\t70\n");
+}
+
+}  // namespace
+}  // namespace ppsim
