@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_simulator_test.dir/tests/batched_simulator_test.cpp.o"
+  "CMakeFiles/batched_simulator_test.dir/tests/batched_simulator_test.cpp.o.d"
+  "batched_simulator_test"
+  "batched_simulator_test.pdb"
+  "batched_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bias_threshold.dir/bench/bench_bias_threshold.cpp.o"
+  "CMakeFiles/bench_bias_threshold.dir/bench/bench_bias_threshold.cpp.o.d"
+  "bench_bias_threshold"
+  "bench_bias_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bias_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

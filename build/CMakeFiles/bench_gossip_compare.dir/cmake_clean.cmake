@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gossip_compare.dir/bench/bench_gossip_compare.cpp.o"
+  "CMakeFiles/bench_gossip_compare.dir/bench/bench_gossip_compare.cpp.o.d"
+  "bench_gossip_compare"
+  "bench_gossip_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gossip_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

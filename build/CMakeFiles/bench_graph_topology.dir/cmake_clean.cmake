@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_topology.dir/bench/bench_graph_topology.cpp.o"
+  "CMakeFiles/bench_graph_topology.dir/bench/bench_graph_topology.cpp.o.d"
+  "bench_graph_topology"
+  "bench_graph_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma31_undecided.dir/bench/bench_lemma31_undecided.cpp.o"
+  "CMakeFiles/bench_lemma31_undecided.dir/bench/bench_lemma31_undecided.cpp.o.d"
+  "bench_lemma31_undecided"
+  "bench_lemma31_undecided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma31_undecided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma32_walks.dir/bench/bench_lemma32_walks.cpp.o"
+  "CMakeFiles/bench_lemma32_walks.dir/bench/bench_lemma32_walks.cpp.o.d"
+  "bench_lemma32_walks"
+  "bench_lemma32_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma32_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

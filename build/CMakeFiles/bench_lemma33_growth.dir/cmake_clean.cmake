@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma33_growth.dir/bench/bench_lemma33_growth.cpp.o"
+  "CMakeFiles/bench_lemma33_growth.dir/bench/bench_lemma33_growth.cpp.o.d"
+  "bench_lemma33_growth"
+  "bench_lemma33_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma33_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

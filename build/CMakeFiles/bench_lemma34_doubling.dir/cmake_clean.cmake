@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma34_doubling.dir/bench/bench_lemma34_doubling.cpp.o"
+  "CMakeFiles/bench_lemma34_doubling.dir/bench/bench_lemma34_doubling.cpp.o.d"
+  "bench_lemma34_doubling"
+  "bench_lemma34_doubling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma34_doubling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_survivors.dir/bench/bench_survivors.cpp.o"
+  "CMakeFiles/bench_survivors.dir/bench/bench_survivors.cpp.o.d"
+  "bench_survivors"
+  "bench_survivors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_survivors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancel_duplicate_test.dir/tests/cancel_duplicate_test.cpp.o"
+  "CMakeFiles/cancel_duplicate_test.dir/tests/cancel_duplicate_test.cpp.o.d"
+  "cancel_duplicate_test"
+  "cancel_duplicate_test.pdb"
+  "cancel_duplicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancel_duplicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_switch.dir/examples/chemical_switch.cpp.o"
+  "CMakeFiles/chemical_switch.dir/examples/chemical_switch.cpp.o.d"
+  "chemical_switch"
+  "chemical_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

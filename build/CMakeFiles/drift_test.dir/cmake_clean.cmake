@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_test.dir/tests/drift_test.cpp.o"
+  "CMakeFiles/drift_test.dir/tests/drift_test.cpp.o.d"
+  "drift_test"
+  "drift_test.pdb"
+  "drift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

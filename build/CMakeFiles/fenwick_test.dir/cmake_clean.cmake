@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenwick_test.dir/tests/fenwick_test.cpp.o"
+  "CMakeFiles/fenwick_test.dir/tests/fenwick_test.cpp.o.d"
+  "fenwick_test"
+  "fenwick_test.pdb"
+  "fenwick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenwick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

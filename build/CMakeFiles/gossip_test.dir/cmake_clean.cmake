@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_test.dir/tests/gossip_test.cpp.o"
+  "CMakeFiles/gossip_test.dir/tests/gossip_test.cpp.o.d"
+  "gossip_test"
+  "gossip_test.pdb"
+  "gossip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hitting_times_test.dir/tests/hitting_times_test.cpp.o"
+  "CMakeFiles/hitting_times_test.dir/tests/hitting_times_test.cpp.o.d"
+  "hitting_times_test"
+  "hitting_times_test.pdb"
+  "hitting_times_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hitting_times_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initial_test.dir/tests/initial_test.cpp.o"
+  "CMakeFiles/initial_test.dir/tests/initial_test.cpp.o.d"
+  "initial_test"
+  "initial_test.pdb"
+  "initial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_util_test.dir/tests/io_util_test.cpp.o"
+  "CMakeFiles/io_util_test.dir/tests/io_util_test.cpp.o.d"
+  "io_util_test"
+  "io_util_test.pdb"
+  "io_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

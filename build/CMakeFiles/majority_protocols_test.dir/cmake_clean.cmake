@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majority_protocols_test.dir/tests/majority_protocols_test.cpp.o"
+  "CMakeFiles/majority_protocols_test.dir/tests/majority_protocols_test.cpp.o.d"
+  "majority_protocols_test"
+  "majority_protocols_test.pdb"
+  "majority_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majority_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

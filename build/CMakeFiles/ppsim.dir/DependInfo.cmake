@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "CMakeFiles/ppsim.dir/src/analysis/bounds.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/convergence.cpp" "CMakeFiles/ppsim.dir/src/analysis/convergence.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/analysis/convergence.cpp.o.d"
+  "/root/repo/src/analysis/drift.cpp" "CMakeFiles/ppsim.dir/src/analysis/drift.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/analysis/drift.cpp.o.d"
+  "/root/repo/src/analysis/hitting_times.cpp" "CMakeFiles/ppsim.dir/src/analysis/hitting_times.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/analysis/hitting_times.cpp.o.d"
+  "/root/repo/src/analysis/initial.cpp" "CMakeFiles/ppsim.dir/src/analysis/initial.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/analysis/initial.cpp.o.d"
+  "/root/repo/src/analysis/random_walks.cpp" "CMakeFiles/ppsim.dir/src/analysis/random_walks.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/analysis/random_walks.cpp.o.d"
+  "/root/repo/src/analysis/scaling.cpp" "CMakeFiles/ppsim.dir/src/analysis/scaling.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/analysis/scaling.cpp.o.d"
+  "/root/repo/src/core/batched_simulator.cpp" "CMakeFiles/ppsim.dir/src/core/batched_simulator.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/batched_simulator.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "CMakeFiles/ppsim.dir/src/core/configuration.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/configuration.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/ppsim.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/faults.cpp" "CMakeFiles/ppsim.dir/src/core/faults.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/faults.cpp.o.d"
+  "/root/repo/src/core/gossip.cpp" "CMakeFiles/ppsim.dir/src/core/gossip.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/gossip.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "CMakeFiles/ppsim.dir/src/core/graph.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/graph.cpp.o.d"
+  "/root/repo/src/core/graph_simulator.cpp" "CMakeFiles/ppsim.dir/src/core/graph_simulator.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/graph_simulator.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "CMakeFiles/ppsim.dir/src/core/recorder.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/recorder.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "CMakeFiles/ppsim.dir/src/core/runner.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/runner.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "CMakeFiles/ppsim.dir/src/core/scheduler.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "CMakeFiles/ppsim.dir/src/core/simulator.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/simulator.cpp.o.d"
+  "/root/repo/src/core/transition_table.cpp" "CMakeFiles/ppsim.dir/src/core/transition_table.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/core/transition_table.cpp.o.d"
+  "/root/repo/src/protocols/averaging_majority.cpp" "CMakeFiles/ppsim.dir/src/protocols/averaging_majority.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/averaging_majority.cpp.o.d"
+  "/root/repo/src/protocols/cancel_duplicate.cpp" "CMakeFiles/ppsim.dir/src/protocols/cancel_duplicate.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/cancel_duplicate.cpp.o.d"
+  "/root/repo/src/protocols/epidemic.cpp" "CMakeFiles/ppsim.dir/src/protocols/epidemic.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/epidemic.cpp.o.d"
+  "/root/repo/src/protocols/four_state_majority.cpp" "CMakeFiles/ppsim.dir/src/protocols/four_state_majority.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/four_state_majority.cpp.o.d"
+  "/root/repo/src/protocols/leader_election.cpp" "CMakeFiles/ppsim.dir/src/protocols/leader_election.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/leader_election.cpp.o.d"
+  "/root/repo/src/protocols/phase_clock.cpp" "CMakeFiles/ppsim.dir/src/protocols/phase_clock.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/phase_clock.cpp.o.d"
+  "/root/repo/src/protocols/synchronized_usd.cpp" "CMakeFiles/ppsim.dir/src/protocols/synchronized_usd.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/synchronized_usd.cpp.o.d"
+  "/root/repo/src/protocols/three_majority.cpp" "CMakeFiles/ppsim.dir/src/protocols/three_majority.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/three_majority.cpp.o.d"
+  "/root/repo/src/protocols/usd.cpp" "CMakeFiles/ppsim.dir/src/protocols/usd.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/usd.cpp.o.d"
+  "/root/repo/src/protocols/usd_gossip.cpp" "CMakeFiles/ppsim.dir/src/protocols/usd_gossip.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/protocols/usd_gossip.cpp.o.d"
+  "/root/repo/src/util/alias_table.cpp" "CMakeFiles/ppsim.dir/src/util/alias_table.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/util/alias_table.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "CMakeFiles/ppsim.dir/src/util/ascii_plot.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/ppsim.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/random_variates.cpp" "CMakeFiles/ppsim.dir/src/util/random_variates.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/util/random_variates.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/ppsim.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/ppsim.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/ppsim.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/ppsim.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_run.dir/examples/ppsim_run.cpp.o"
+  "CMakeFiles/ppsim_run.dir/examples/ppsim_run.cpp.o.d"
+  "ppsim_run"
+  "ppsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_zoo.dir/examples/protocol_zoo.cpp.o"
+  "CMakeFiles/protocol_zoo.dir/examples/protocol_zoo.cpp.o.d"
+  "protocol_zoo"
+  "protocol_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_variates_test.dir/tests/random_variates_test.cpp.o"
+  "CMakeFiles/random_variates_test.dir/tests/random_variates_test.cpp.o.d"
+  "random_variates_test"
+  "random_variates_test.pdb"
+  "random_variates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_variates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_walks_test.dir/tests/random_walks_test.cpp.o"
+  "CMakeFiles/random_walks_test.dir/tests/random_walks_test.cpp.o.d"
+  "random_walks_test"
+  "random_walks_test.pdb"
+  "random_walks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_walks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

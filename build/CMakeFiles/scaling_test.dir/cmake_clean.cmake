@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_test.dir/tests/scaling_test.cpp.o"
+  "CMakeFiles/scaling_test.dir/tests/scaling_test.cpp.o.d"
+  "scaling_test"
+  "scaling_test.pdb"
+  "scaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_protocols_test.dir/tests/substrate_protocols_test.cpp.o"
+  "CMakeFiles/substrate_protocols_test.dir/tests/substrate_protocols_test.cpp.o.d"
+  "substrate_protocols_test"
+  "substrate_protocols_test.pdb"
+  "substrate_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_table_test.dir/tests/transition_table_test.cpp.o"
+  "CMakeFiles/transition_table_test.dir/tests/transition_table_test.cpp.o.d"
+  "transition_table_test"
+  "transition_table_test.pdb"
+  "transition_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usd_test.dir/tests/usd_test.cpp.o"
+  "CMakeFiles/usd_test.dir/tests/usd_test.cpp.o.d"
+  "usd_test"
+  "usd_test.pdb"
+  "usd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
