@@ -7,16 +7,16 @@
 //     consensus since its clock never stops).
 // Swept over the initial difference d to exhibit the crossovers the
 // literature describes: exactness costs time at small d; state count buys
-// that time back.
+// that time back. One sweep cell per (bias, protocol) pair, fanned out over
+// --threads with deterministic per-trial streams.
 //
-// Flags: --n, --trials, --seed, --threads, --avg-resolution.
+// Flags: --n, --trials, --seed, --threads, --avg-resolution, --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "ppsim/core/runner.hpp"
-#include "ppsim/core/simulator.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/averaging_majority.hpp"
 #include "ppsim/protocols/four_state_majority.hpp"
 #include "ppsim/protocols/synchronized_usd.hpp"
@@ -30,74 +30,64 @@ using namespace ppsim;
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 10'000);
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
   const Count avg_resolution = cli.get_int("avg-resolution", 1 << 14);
+  const SweepCliOptions opts = read_sweep_flags(cli, 5, 5, "BENCH_baselines.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner("baselines",
                     "Two-opinion majority baselines: parallel time to stabilize vs bias");
   benchutil::param("n", n);
-  benchutil::param("trials", static_cast<std::int64_t>(trials));
+  benchutil::param("trials", static_cast<std::int64_t>(opts.trials));
   benchutil::param("averaging resolution m", avg_resolution);
 
   const std::vector<Count> biases = {2, 16, 128, 1024};
+  const std::vector<std::string> protocols = {"usd", "four-state", "averaging",
+                                              "sync-usd"};
+  const Interactions budget = 100000 * n;
 
-  Table table({"bias", "usd_3state", "four_state", "averaging", "sync_usd",
-               "usd_exact_rate", "four_state_exact_rate"});
-
+  SweepSpec spec;
+  spec.name = "baselines";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
   for (const Count d : biases) {
+    for (const std::string& protocol : protocols) {
+      SweepCell cell;
+      cell.n = n;
+      cell.k = 2;
+      cell.bias = static_cast<double>(d);
+      cell.protocol = protocol;
+      cell.engine = protocol == "averaging" ? EngineKind::kSequentialVirtual
+                                            : EngineKind::kSequential;
+      cell.name = protocol + " d=" + std::to_string(d);
+      spec.cells.push_back(cell);
+    }
+  }
+
+  const FourStateMajority four;
+  const AveragingMajority avg(avg_resolution);
+  const SynchronizedUsd sync(2, 8);
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    const auto d = static_cast<Count>(ctx.cell.bias);
     const Count a = (n + d) / 2;
     const Count b = n - a;
-
-    // --- USD (3 states) ---
-    auto usd_trial = [&](std::uint64_t s, std::size_t) {
-      UsdEngine engine({a, b}, s);
-      engine.run_until_stable(100000 * n);
-      TrialResult r;
+    TrialResult r;
+    if (ctx.cell.protocol == "usd") {
+      UsdEngine engine({a, b}, ctx.seed);
+      engine.run_until_stable(budget);
       r.stabilized = engine.stabilized();
+      r.interactions = engine.interactions();
       r.parallel_time = engine.time();
       r.winner = engine.winner();
-      return r;
-    };
-    const TrialAggregate usd_agg =
-        aggregate(run_trials(usd_trial, trials, seed + 1, threads));
-
-    // --- 4-state exact majority ---
-    const FourStateMajority four;
-    auto four_trial = [&](std::uint64_t s, std::size_t) {
-      Simulator sim(four, FourStateMajority::initial(a, b), s);
-      const RunOutcome out = sim.run_until_stable(100000 * n);
-      TrialResult r;
-      r.stabilized = out.stabilized;
-      r.parallel_time = sim.parallel_time();
-      r.winner = out.consensus;
-      return r;
-    };
-    const TrialAggregate four_agg =
-        aggregate(run_trials(four_trial, trials, seed + 2, threads));
-
-    // --- quantized averaging (virtual engine; state space 2m+1) ---
-    const AveragingMajority avg(avg_resolution);
-    auto avg_trial = [&](std::uint64_t s, std::size_t) {
-      Simulator sim(avg, avg.initial(a, b), s, Simulator::Engine::kVirtual);
-      const RunOutcome out = sim.run_until_stable(100000 * n);
-      TrialResult r;
-      r.stabilized = out.stabilized;
-      r.parallel_time = sim.parallel_time();
-      r.winner = out.consensus;
-      return r;
-    };
-    const TrialAggregate avg_agg =
-        aggregate(run_trials(avg_trial, trials, seed + 3, threads));
-
-    // --- synchronized USD (convergence = opinion consensus) ---
-    const SynchronizedUsd sync(2, 8);
-    auto sync_trial = [&](std::uint64_t s, std::size_t) {
-      Simulator sim(sync, sync.initial({a, b}), s);
-      TrialResult r;
-      const Interactions budget = 100000 * n;
+    } else if (ctx.cell.protocol == "four-state") {
+      Engine sim = ctx.make_engine(four, FourStateMajority::initial(a, b));
+      r = run_engine_trial(sim, budget);
+    } else if (ctx.cell.protocol == "averaging") {
+      Engine sim = ctx.make_engine(avg, avg.initial(a, b));
+      r = run_engine_trial(sim, budget);
+    } else {  // sync-usd: convergence = opinion consensus, checked per round
+      Simulator sim(sync, sync.initial({a, b}), ctx.seed);
       while (sim.interactions() < budget) {
         for (Count i = 0; i < n; ++i) sim.step();
         if (sync.consensus_opinion(sim.configuration()).has_value()) {
@@ -105,23 +95,33 @@ int run(int argc, char** argv) {
           break;
         }
       }
+      r.interactions = sim.interactions();
       r.parallel_time = sim.parallel_time();
       r.winner = sync.consensus_opinion(sim.configuration());
-      return r;
-    };
-    const TrialAggregate sync_agg =
-        aggregate(run_trials(sync_trial, trials, seed + 4, threads));
+    }
+    return consensus_metrics(r);
+  };
 
+  const SweepResult result = SweepRunner(spec).run(trial);
+
+  Table table({"bias", "usd_3state", "four_state", "averaging", "sync_usd",
+               "usd_exact_rate", "four_state_exact_rate"});
+  for (std::size_t bi = 0; bi < biases.size(); ++bi) {
+    const std::size_t base = bi * protocols.size();
+    const SweepCellResult& usd_cell = result.cells[base + 0];
+    const SweepCellResult& four_cell = result.cells[base + 1];
+    const SweepCellResult& avg_cell = result.cells[base + 2];
+    const SweepCellResult& sync_cell = result.cells[base + 3];
     table.row()
-        .cell(d)
-        .cell(usd_agg.parallel_time.mean(), 2)
-        .cell(four_agg.parallel_time.mean(), 2)
-        .cell(avg_agg.parallel_time.mean(), 2)
-        .cell(sync_agg.parallel_time.mean(), 2)
-        .cell(usd_agg.win_rate(0), 3)
-        .cell(four_agg.win_rate(0), 3)
+        .cell(biases[bi])
+        .cell(usd_cell.mean_where("parallel_time", "stabilized"), 2)
+        .cell(four_cell.mean_where("parallel_time", "stabilized"), 2)
+        .cell(avg_cell.mean_where("parallel_time", "stabilized"), 2)
+        .cell(sync_cell.mean_where("parallel_time", "stabilized"), 2)
+        .cell(usd_cell.rate("majority_win"), 3)
+        .cell(four_cell.rate("majority_win"), 3)
         .done();
-    std::cout << "  bias=" << d << " done\n";
+    std::cout << "  bias=" << biases[bi] << " done\n";
   }
 
   benchutil::tsv_block("baselines", table);
@@ -130,6 +130,7 @@ int run(int argc, char** argv) {
                "averaging nearly flat in bias (state count amplifies it);\n"
                "USD fast but only *approximately* correct at tiny bias\n"
                "(usd_exact_rate < 1 at bias 2, = 1 at bias >= 128).\n";
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

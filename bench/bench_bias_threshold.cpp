@@ -2,12 +2,13 @@
 // majority need to win w.h.p.? Known: Θ(√n) bias can stabilize to a
 // minority with non-negligible probability [17]; Ω(√(n ln n)) bias secures
 // the majority w.h.p. [6]. We sweep the two-opinion bias through
-// β·√n for β ∈ {0, 0.5, 1, 2, √ln n, 2√ln n} and report win rates.
+// β·√n for β ∈ {0, 0.5, 1, 2, √ln n, 2√ln n} — one sweep cell per β —
+// and report win rates.
 //
 // Expected shape: win rate ≈ 0.5 at β = 0, clearly below 1 for β ∈ {0.5, 1}
 // (minority wins are visible), and ≈ 1.0 from β = √ln n on.
 //
-// Flags: --n, --trials, --seed, --threads.
+// Flags: --n, --trials, --seed, --threads, --json.
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -15,7 +16,7 @@
 
 #include "bench_common.hpp"
 #include "ppsim/analysis/initial.hpp"
-#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/cli.hpp"
 
@@ -26,9 +27,8 @@ using namespace ppsim;
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 10'000);
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 400));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const SweepCliOptions opts =
+      read_sweep_flags(cli, 400, 1, "BENCH_bias_threshold.json");
   cli.validate_no_unknown_flags();
 
   const double sqrt_n = std::sqrt(static_cast<double>(n));
@@ -37,7 +37,7 @@ int run(int argc, char** argv) {
   benchutil::banner("bias_threshold",
                     "Conclusion C1: majority win rate vs initial bias (k = 2)");
   benchutil::param("n", n);
-  benchutil::param("trials per bias", static_cast<std::int64_t>(trials));
+  benchutil::param("trials per bias", static_cast<std::int64_t>(opts.trials));
   benchutil::param("sqrt(n)", sqrt_n);
   benchutil::param("sqrt(n ln n)", sqrt_n * sqrt_ln_n);
 
@@ -47,36 +47,62 @@ int run(int argc, char** argv) {
       {"sqrt(ln n)", sqrt_ln_n}, {"2 sqrt(ln n)", 2.0 * sqrt_ln_n},
   };
 
-  Table table({"beta", "bias", "majority_win_rate", "minority_win_rate",
-               "no_winner_rate", "mean_parallel_time"});
+  SweepSpec spec;
+  spec.name = "bias_threshold";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  std::vector<InitialConfig> inits;
   for (const auto& [label, beta] : betas) {
     const auto bias = static_cast<Count>(std::llround(beta * sqrt_n));
     // Even bias keeps the counts integral around n/2.
     const Count majority_count = (n + bias + 1) / 2;
-    const InitialConfig init = two_party_configuration(n, majority_count);
-    auto trial = [&](std::uint64_t trial_seed, std::size_t) {
-      UsdEngine engine(init.opinion_counts, trial_seed);
-      engine.run_until_stable(10000 * n);
-      TrialResult r;
-      r.stabilized = engine.stabilized();
-      r.parallel_time = engine.time();
-      r.winner = engine.winner();
-      return r;
-    };
-    const auto results = run_trials(trial, trials, seed + static_cast<std::uint64_t>(bias),
-                                    threads);
-    const TrialAggregate agg = aggregate(results);
-    const double no_winner =
-        static_cast<double>(agg.no_winner) / static_cast<double>(agg.trials);
+    inits.push_back(two_party_configuration(n, majority_count));
+    SweepCell cell;
+    cell.n = n;
+    cell.k = 2;
+    cell.bias = static_cast<double>(inits.back().bias);
+    cell.name = "beta=" + label;
+    cell.params = {{"beta", beta}};
+    spec.cells.push_back(cell);
+  }
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
+    engine.run_until_stable(10000 * n);
+    TrialResult r;
+    r.stabilized = engine.stabilized();
+    r.interactions = engine.interactions();
+    r.parallel_time = engine.time();
+    r.winner = engine.winner();
+    return consensus_metrics(r);
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
+
+  Table table({"beta", "bias", "majority_win_rate", "minority_win_rate",
+               "no_winner_rate", "mean_parallel_time"});
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const SweepCellResult& cr = result.cells[i];
+    std::size_t minority_wins = 0;
+    std::size_t no_winner = 0;
+    const std::vector<double> winners = cr.values("winner");
+    const std::vector<double> stabilized = cr.values("stabilized");
+    for (std::size_t t = 0; t < winners.size(); ++t) {
+      if (winners[t] == 1.0) ++minority_wins;
+      if (winners[t] < 0.0 && stabilized[t] != 0.0) ++no_winner;
+    }
+    const auto trials = static_cast<double>(cr.trials.size());
     table.row()
-        .cell(label)
-        .cell(init.bias)
-        .cell(agg.win_rate(0), 4)
-        .cell(agg.win_rate(1), 4)
-        .cell(no_winner, 4)
-        .cell(agg.parallel_time.mean(), 2)
+        .cell(betas[i].first)
+        .cell(static_cast<std::int64_t>(cr.cell.bias))
+        .cell(cr.rate("majority_win"), 4)
+        .cell(static_cast<double>(minority_wins) / trials, 4)
+        .cell(static_cast<double>(no_winner) / trials, 4)
+        .cell(cr.mean_where("parallel_time", "stabilized"), 2)
         .done();
-    std::cout << "  beta=" << label << " done (bias " << init.bias << ")\n";
+    std::cout << "  beta=" << betas[i].first << " done (bias "
+              << static_cast<Count>(cr.cell.bias) << ")\n";
   }
 
   benchutil::tsv_block("bias_threshold", table);
@@ -84,6 +110,7 @@ int run(int argc, char** argv) {
   std::cout << "\nExpected shape: ~0.5 at beta=0, <1 for beta in {0.5, 1} "
                "(minority wins visible),\n~1.0 from beta = sqrt(ln n) on "
                "(the Omega(sqrt(n log n)) sufficiency).\n";
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

@@ -2,20 +2,19 @@
 // parameters from the command line, echoes them (so captured output is
 // self-describing), emits a machine-readable TSV block delimited by
 // "### begin tsv <name>" / "### end tsv", and usually an ASCII rendering.
-// Benches additionally emit machine-readable JSON (BENCH_<name>.json) via
-// the minimal JsonObject writer below, so perf trajectories can be tracked
-// across commits without parsing human-oriented output.
+// Machine-readable JSON comes from the library now: benches run on the
+// SweepRunner (ppsim/core/sweep.hpp) whose unified reporter replaced the
+// ad-hoc JsonObject emit code that used to live here (the writer itself
+// moved to ppsim/util/json.hpp).
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "ppsim/util/check.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/util/cli.hpp"
+#include "ppsim/util/json.hpp"
 #include "ppsim/util/table.hpp"
 
 namespace ppsim::benchutil {
@@ -47,82 +46,15 @@ inline void tsv_block(const std::string& name, const Table& table) {
   std::cout << "### end tsv\n";
 }
 
-/// Minimal JSON object/array builder — enough for flat bench reports
-/// (numbers, strings, booleans, nested objects and arrays), with no
-/// external dependency. Values are rendered eagerly in insertion order.
-class JsonObject {
- public:
-  JsonObject& field(const std::string& key, const std::string& value) {
-    return raw(key, '"' + escape(value) + '"');
+/// Echoes the shared sweep flags and writes the unified JSON report — the
+/// common tail of every refactored bench's run().
+inline void finish_sweep(const SweepResult& result, const SweepCliOptions& opts) {
+  std::cout << "sweep wall seconds: " << format_double(result.wall_seconds, 3)
+            << " (threads " << result.threads << ")\n";
+  if (!opts.json.empty()) {
+    result.write_json(opts.json);
+    std::cout << "json report written to " << opts.json << "\n";
   }
-  JsonObject& field(const std::string& key, const char* value) {
-    return field(key, std::string(value));
-  }
-  JsonObject& field(const std::string& key, std::int64_t value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonObject& field(const std::string& key, double value) {
-    std::ostringstream os;
-    os.precision(12);
-    os << value;
-    return raw(key, os.str());
-  }
-  JsonObject& field(const std::string& key, bool value) {
-    return raw(key, value ? "true" : "false");
-  }
-  JsonObject& field(const std::string& key, const JsonObject& value) {
-    return raw(key, value.str());
-  }
-  JsonObject& field(const std::string& key, const std::vector<JsonObject>& items) {
-    std::string out = "[";
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += items[i].str();
-    }
-    return raw(key, out + "]");
-  }
-
-  std::string str() const { return "{" + body_ + "}"; }
-
-  /// Writes the object (pretty enough: one line) to `path`.
-  void write_file(const std::string& path) const {
-    std::ofstream out(path);
-    PPSIM_CHECK(out.good(), "cannot open json output file " + path);
-    out << str() << "\n";
-  }
-
- private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            // RFC 8259: all other control characters need \u00XX form.
-            constexpr char hex[] = "0123456789abcdef";
-            out += "\\u00";
-            out += hex[(c >> 4) & 0xf];
-            out += hex[c & 0xf];
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  }
-
-  JsonObject& raw(const std::string& key, const std::string& rendered) {
-    if (!body_.empty()) body_ += ", ";
-    body_ += '"' + escape(key) + "\": " + rendered;
-    return *this;
-  }
-
-  std::string body_;
-};
+}
 
 }  // namespace ppsim::benchutil

@@ -2,14 +2,16 @@
 //
 // The paper's guarantees assume a fault-free scheduler. This bench sweeps a
 // per-interaction corruption rate ρ (one random agent teleports to a random
-// state) and reports the *consensus quality* (fraction of agents on the top
-// opinion) held at a fixed horizon, plus recovery time to full consensus
-// after faults stop. The interesting shape: quality degrades smoothly with
-// ρ (no cliff), and recovery from any corrupted configuration succeeds —
-// the USD dynamics are self-stabilizing for plurality, only the *identity*
-// of the winner is at risk under heavy corruption.
+// *different* state — every fired Bernoulli corrupts, see faults.cpp) and
+// reports the *consensus quality* (fraction of agents on the top opinion)
+// held at a fixed horizon, plus recovery time to full consensus after
+// faults stop. The interesting shape: quality degrades smoothly with ρ (no
+// cliff), and recovery from any corrupted configuration succeeds — the USD
+// dynamics are self-stabilizing for plurality, only the *identity* of the
+// winner is at risk under heavy corruption. One sweep cell per rate.
 //
-// Flags: --n, --k, --trials, --seed, --horizon (parallel time), --threads.
+// Flags: --n, --k, --trials, --seed, --horizon (parallel time), --threads,
+//        --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -17,10 +19,9 @@
 #include "bench_common.hpp"
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/core/faults.hpp"
-#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/cli.hpp"
-#include "ppsim/util/stats.hpp"
 
 namespace {
 
@@ -30,10 +31,9 @@ int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 50'000);
   const auto k = static_cast<std::size_t>(cli.get_int("k", 8));
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
   const double horizon = cli.get_double("horizon", 200.0);
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const SweepCliOptions opts =
+      read_sweep_flags(cli, 5, 21, "BENCH_fault_tolerance.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner("fault_tolerance",
@@ -41,57 +41,72 @@ int run(int argc, char** argv) {
   benchutil::param("n", n);
   benchutil::param("k", static_cast<std::int64_t>(k));
   benchutil::param("horizon (parallel time)", horizon);
-  benchutil::param("trials per rate", static_cast<std::int64_t>(trials));
+  benchutil::param("trials per rate", static_cast<std::int64_t>(opts.trials));
 
   const InitialConfig init = figure1_configuration(n, k);
   const auto horizon_interactions =
       static_cast<Interactions>(horizon * static_cast<double>(n));
 
+  SweepSpec spec;
+  spec.name = "fault_tolerance";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  for (const double rate : {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2}) {
+    SweepCell cell;
+    cell.n = n;
+    cell.k = k;
+    cell.bias = static_cast<double>(init.bias);
+    cell.name = "rate=" + format_sci(rate, 1);
+    cell.params = {{"corruption_rate", rate}};
+    spec.cells.push_back(cell);
+  }
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    const double rate = ctx.cell.param("corruption_rate", 0.0);
+    UsdEngine engine(init.opinion_counts, ctx.seed);
+    // The injector owns a separate stream (drawn from this trial's private
+    // stream) so fault patterns are reproducible independently of the
+    // trajectory randomness.
+    UsdFaultInjector injector(rate, ctx.rng());
+    injector.run(engine, horizon_interactions);
+    const double quality = consensus_quality(engine);
+    Count top = engine.opinion_count(0);
+    bool majority_leads = true;
+    for (Opinion j = 1; j < k; ++j) {
+      if (engine.opinion_count(j) > top) majority_leads = false;
+    }
+    // Recovery: stop faults, run to stabilization.
+    const Interactions before = engine.interactions();
+    const bool recovered = engine.run_until_stable(before + 100000 * n);
+    SweepMetrics m = {
+        {"quality_at_horizon", quality},
+        {"majority_still_top", majority_leads ? 1.0 : 0.0},
+        {"recovered", recovered ? 1.0 : 0.0},
+        {"corruptions", static_cast<double>(injector.corruptions())},
+    };
+    if (recovered) {
+      m.emplace_back("recovery_parallel_time",
+                     static_cast<double>(engine.interactions() - before) /
+                         static_cast<double>(n));
+    }
+    return m;
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
+
   Table table({"corruption_rate", "mean_quality_at_horizon", "min_quality",
                "majority_still_top_rate", "mean_recovery_parallel_time"});
-
-  for (const double rate : {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2}) {
-    RunningStats quality;
-    RunningStats recovery;
-    std::size_t majority_top = 0;
-
-    auto trial = [&](std::uint64_t trial_seed, std::size_t) {
-      UsdEngine engine(init.opinion_counts, trial_seed);
-      UsdFaultInjector injector(rate, trial_seed ^ 0x9e3779b9u);
-      injector.run(engine, horizon_interactions);
-      TrialResult r;
-      // quality at horizon
-      r.parallel_time = consensus_quality(engine);
-      // does the original majority still lead?
-      Count top = engine.opinion_count(0);
-      bool majority_leads = true;
-      for (Opinion j = 1; j < k; ++j) {
-        if (engine.opinion_count(j) > top) majority_leads = false;
-      }
-      r.winner = majority_leads ? std::optional<Opinion>(0) : std::nullopt;
-      // recovery: stop faults, run to stabilization
-      const Interactions before = engine.interactions();
-      r.stabilized = engine.run_until_stable(before + 100000 * n);
-      r.interactions = engine.interactions() - before;
-      return r;
-    };
-    const auto results =
-        run_trials(trial, trials, seed + static_cast<std::uint64_t>(rate * 1e6), threads);
-    for (const auto& r : results) {
-      quality.add(r.parallel_time);  // carries quality, see above
-      if (r.winner.has_value()) ++majority_top;
-      if (r.stabilized) {
-        recovery.add(static_cast<double>(r.interactions) / static_cast<double>(n));
-      }
-    }
+  for (const SweepCellResult& cr : result.cells) {
     table.row()
-        .cell(format_sci(rate, 1))
-        .cell(quality.mean(), 4)
-        .cell(quality.min(), 4)
-        .cell(static_cast<double>(majority_top) / static_cast<double>(trials), 2)
-        .cell(recovery.mean(), 2)
+        .cell(format_sci(cr.cell.param("corruption_rate", 0.0), 1))
+        .cell(cr.mean("quality_at_horizon"), 4)
+        .cell(cr.min("quality_at_horizon"), 4)
+        .cell(cr.rate("majority_still_top"), 2)
+        .cell(cr.mean("recovery_parallel_time"), 2)
         .done();
-    std::cout << "  rate=" << format_sci(rate, 1) << " done\n";
+    std::cout << "  rate=" << format_sci(cr.cell.param("corruption_rate", 0.0), 1)
+              << " done\n";
   }
 
   benchutil::tsv_block("fault_tolerance", table);
@@ -100,6 +115,7 @@ int run(int argc, char** argv) {
                "degradation after;\nrecovery always succeeds (self-stabilization); "
                "the majority's identity survives\nmoderate rates but not heavy "
                "corruption.\n";
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

@@ -8,8 +8,13 @@
 //   * the majority stays low for most of the run, then spikes to n;
 //   * minority opinions (×k) are non-monotone and cluster near n/2.
 //
+// Runs as a one-cell sweep: --trials independent trajectories (recorded
+// into per-trial slots, so --threads parallelises them safely); the plot
+// and TSV render trial 0, the sweep JSON aggregates the scalar outcomes.
+//
 // Flags: --n, --k, --seed, --samples (per-run sample count), --max-parallel
-//        (safety budget, in parallel time units).
+//        (safety budget, in parallel time units), --trials, --threads,
+//        --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -17,6 +22,7 @@
 #include "bench_common.hpp"
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/ascii_plot.hpp"
 #include "ppsim/util/cli.hpp"
@@ -25,14 +31,22 @@ namespace {
 
 using namespace ppsim;
 
+struct Trajectory {
+  std::vector<double> time;
+  std::vector<double> undecided;
+  std::vector<double> majority;
+  std::vector<double> minority_scaled;  // one highlighted minority, x k
+  std::vector<double> mean_minority_scaled;
+};
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 1'000'000);
   const auto k = static_cast<std::size_t>(
       cli.get_int("k", static_cast<std::int64_t>(bounds::paper_k(n))));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 2025));
   const std::int64_t samples = cli.get_int("samples", 400);
   const double max_parallel = cli.get_double("max-parallel", 10000.0);
+  const SweepCliOptions opts = read_sweep_flags(cli, 1, 2025, "");
   cli.validate_no_unknown_flags();
 
   const InitialConfig init = figure1_configuration(n, k);
@@ -45,76 +59,100 @@ int run(int argc, char** argv) {
   benchutil::param("x_majority(0)", init.majority());
   benchutil::param("x_minority(0)", init.minority());
   benchutil::param("settle point n/2 - n/4k", bounds::usd_settle_point(n, k));
-  benchutil::param("seed", static_cast<std::int64_t>(seed));
+  benchutil::param("seed", static_cast<std::int64_t>(opts.seed));
 
-  UsdEngine engine(init.opinion_counts, seed);
   const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
   const Interactions stride =
       std::max<Interactions>(1, budget / std::max<std::int64_t>(samples * 100, 1));
 
-  // Record adaptively: sample every `stride` interactions until stabilization;
-  // we do not know the total duration in advance, so keep everything and
-  // subsample for the plot afterwards.
-  std::vector<double> time;
-  std::vector<double> undecided;
-  std::vector<double> majority;
-  std::vector<double> minority_scaled;  // one highlighted minority, x k
-  std::vector<double> mean_minority_scaled;
+  SweepSpec spec;
+  spec.name = "fig1_left";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  SweepCell cell;
+  cell.n = n;
+  cell.k = k;
+  cell.bias = static_cast<double>(init.bias);
+  spec.cells.push_back(cell);
 
+  std::vector<Trajectory> trajectories(opts.trials);
   const Opinion highlighted = static_cast<Opinion>(k / 2);  // arbitrary fixed minority
-  auto record = [&](const UsdEngine& e) {
-    time.push_back(e.time());
-    undecided.push_back(static_cast<double>(e.undecided()));
-    majority.push_back(static_cast<double>(e.opinion_count(0)));
-    minority_scaled.push_back(static_cast<double>(e.opinion_count(highlighted)) *
-                              static_cast<double>(k));
-    double mean_min = 0.0;
-    for (Opinion j = 1; j < k; ++j) {
-      mean_min += static_cast<double>(e.opinion_count(j));
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    Trajectory& traj = trajectories[ctx.trial];  // private slot per trial
+    auto record = [&](const UsdEngine& e) {
+      traj.time.push_back(e.time());
+      traj.undecided.push_back(static_cast<double>(e.undecided()));
+      traj.majority.push_back(static_cast<double>(e.opinion_count(0)));
+      traj.minority_scaled.push_back(static_cast<double>(e.opinion_count(highlighted)) *
+                                     static_cast<double>(k));
+      double mean_min = 0.0;
+      for (Opinion j = 1; j < k; ++j) {
+        mean_min += static_cast<double>(e.opinion_count(j));
+      }
+      mean_min /= static_cast<double>(k - 1);
+      traj.mean_minority_scaled.push_back(mean_min * static_cast<double>(k));
+    };
+
+    // Record adaptively: sample every `stride` interactions until
+    // stabilization; we do not know the total duration in advance, so keep
+    // everything and subsample for the plot afterwards.
+    UsdEngine engine(init.opinion_counts, ctx.seed);
+    record(engine);
+    Interactions next_sample = stride;
+    while (!engine.stabilized() && engine.interactions() < budget) {
+      engine.step();
+      if (engine.interactions() >= next_sample) {
+        record(engine);
+        next_sample = engine.interactions() + stride;
+      }
     }
-    mean_min /= static_cast<double>(k - 1);
-    mean_minority_scaled.push_back(mean_min * static_cast<double>(k));
+    record(engine);
+
+    TrialResult r;
+    r.stabilized = engine.stabilized();
+    r.interactions = engine.interactions();
+    r.parallel_time = engine.time();
+    r.winner = engine.winner();
+    return consensus_metrics(r);
   };
 
-  record(engine);
-  Interactions next_sample = stride;
-  while (!engine.stabilized() && engine.interactions() < budget) {
-    engine.step();
-    if (engine.interactions() >= next_sample) {
-      record(engine);
-      next_sample = engine.interactions() + stride;
-    }
-  }
-  record(engine);
+  const SweepResult result = SweepRunner(spec).run(trial);
+  const SweepCellResult& cr = result.cells[0];
+  const std::vector<double> winners = cr.values("winner");
 
-  benchutil::param("stabilized", engine.stabilized() ? "yes" : "NO (budget hit)");
-  benchutil::param("stabilization parallel time", engine.time());
-  benchutil::param("winner",
-                   engine.winner().has_value() ? std::to_string(*engine.winner())
-                                               : std::string("none"));
+  benchutil::param("stabilized", cr.rate("stabilized") == 1.0 ? "yes" : "NO (budget hit)");
+  benchutil::param("stabilization parallel time", cr.mean("parallel_time"));
+  benchutil::param("winner (trial 0)",
+                   !winners.empty() && winners[0] >= 0
+                       ? std::to_string(static_cast<Opinion>(winners[0]))
+                       : std::string("none"));
 
+  const Trajectory& traj = trajectories[0];
   Table table({"parallel_time", "undecided", "majority", "minority_x_k",
                "mean_minority_x_k"});
   const std::size_t step =
-      std::max<std::size_t>(1, time.size() / static_cast<std::size_t>(samples));
-  for (std::size_t i = 0; i < time.size(); i += step) {
+      std::max<std::size_t>(1, traj.time.size() / static_cast<std::size_t>(samples));
+  for (std::size_t i = 0; i < traj.time.size(); i += step) {
     table.row()
-        .cell(time[i], 3)
-        .cell(undecided[i], 0)
-        .cell(majority[i], 0)
-        .cell(minority_scaled[i], 0)
-        .cell(mean_minority_scaled[i], 0)
+        .cell(traj.time[i], 3)
+        .cell(traj.undecided[i], 0)
+        .cell(traj.majority[i], 0)
+        .cell(traj.minority_scaled[i], 0)
+        .cell(traj.mean_minority_scaled[i], 0)
         .done();
   }
   benchutil::tsv_block("fig1_left", table);
 
   AsciiPlot plot(100, 28);
   plot.set_labels("parallel time", "agents");
-  plot.add_series("undecided u(t)", 'u', time, undecided);
-  plot.add_series("majority x1(t)", 'M', time, majority);
-  plot.add_series("minority (x k)", 'm', time, minority_scaled);
+  plot.add_series("undecided u(t)", 'u', traj.time, traj.undecided);
+  plot.add_series("majority x1(t)", 'M', traj.time, traj.majority);
+  plot.add_series("minority (x k)", 'm', traj.time, traj.minority_scaled);
   plot.add_hline("n/2 - n/4k", '.', bounds::usd_settle_point(n, k));
   std::cout << plot.render();
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

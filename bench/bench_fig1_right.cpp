@@ -9,7 +9,11 @@
 //   * the maximum difference grows slowly (doubling needs Θ(kn)
 //     interactions, Lemma 3.4) and only explodes at the very end.
 //
-// Flags: --n, --k, --seed, --samples, --max-parallel.
+// Runs as a one-cell sweep (per-trial trajectory slots; plot renders
+// trial 0, the sweep JSON aggregates doubling times across --trials).
+//
+// Flags: --n, --k, --seed, --samples, --max-parallel, --trials, --threads,
+//        --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -17,6 +21,7 @@
 #include "bench_common.hpp"
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/ascii_plot.hpp"
 #include "ppsim/util/cli.hpp"
@@ -25,14 +30,21 @@ namespace {
 
 using namespace ppsim;
 
+struct Trajectory {
+  std::vector<double> time;
+  std::vector<double> majority;
+  std::vector<double> mean_minority;
+  std::vector<double> max_difference;  // max_{j>=2}(x1 - x_j)
+};
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 1'000'000);
   const auto k = static_cast<std::size_t>(
       cli.get_int("k", static_cast<std::int64_t>(bounds::paper_k(n))));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2025));
   const std::int64_t samples = cli.get_int("samples", 400);
   const double max_parallel = cli.get_double("max-parallel", 10000.0);
+  const SweepCliOptions opts = read_sweep_flags(cli, 1, 2025, "");
   cli.validate_no_unknown_flags();
 
   const InitialConfig init = figure1_configuration(n, k);
@@ -45,82 +57,110 @@ int run(int argc, char** argv) {
   benchutil::param("bias", init.bias);
   benchutil::param("x_majority(0)", init.majority());
   benchutil::param("doubling level 2*x1(0)", doubling_level);
-  benchutil::param("seed", static_cast<std::int64_t>(seed));
+  benchutil::param("seed", static_cast<std::int64_t>(opts.seed));
 
-  UsdEngine engine(init.opinion_counts, seed);
   const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
   const Interactions stride = std::max<Interactions>(
       1, budget / std::max<std::int64_t>(samples * 100, 1));
 
-  std::vector<double> time;
-  std::vector<double> majority;
-  std::vector<double> mean_minority;
-  std::vector<double> max_difference;  // max_{j>=2}(x1 - x_j)
+  SweepSpec spec;
+  spec.name = "fig1_right";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  SweepCell cell;
+  cell.n = n;
+  cell.k = k;
+  cell.bias = static_cast<double>(init.bias);
+  spec.cells.push_back(cell);
 
-  auto record = [&](const UsdEngine& e) {
-    time.push_back(e.time());
-    const auto x1 = static_cast<double>(e.opinion_count(0));
-    majority.push_back(x1);
-    double mean_min = 0.0;
-    Count min_minority = e.opinion_count(1);
-    for (Opinion j = 1; j < k; ++j) {
-      const Count xj = e.opinion_count(j);
-      mean_min += static_cast<double>(xj);
-      min_minority = std::min(min_minority, xj);
+  std::vector<Trajectory> trajectories(opts.trials);
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    Trajectory& traj = trajectories[ctx.trial];  // private slot per trial
+    auto record = [&](const UsdEngine& e) {
+      traj.time.push_back(e.time());
+      const auto x1 = static_cast<double>(e.opinion_count(0));
+      traj.majority.push_back(x1);
+      double mean_min = 0.0;
+      Count min_minority = e.opinion_count(1);
+      for (Opinion j = 1; j < k; ++j) {
+        const Count xj = e.opinion_count(j);
+        mean_min += static_cast<double>(xj);
+        min_minority = std::min(min_minority, xj);
+      }
+      traj.mean_minority.push_back(mean_min / static_cast<double>(k - 1));
+      traj.max_difference.push_back(x1 - static_cast<double>(min_minority));
+    };
+
+    UsdEngine engine(init.opinion_counts, ctx.seed);
+    record(engine);
+    Interactions next_sample = stride;
+    Interactions doubling_time = -1;
+    while (!engine.stabilized() && engine.interactions() < budget) {
+      engine.step();
+      if (doubling_time < 0 && engine.opinion_count(0) >= doubling_level) {
+        doubling_time = engine.interactions();
+        record(engine);
+      }
+      if (engine.interactions() >= next_sample) {
+        record(engine);
+        next_sample = engine.interactions() + stride;
+      }
     }
-    mean_minority.push_back(mean_min / static_cast<double>(k - 1));
-    max_difference.push_back(x1 - static_cast<double>(min_minority));
+    record(engine);
+
+    SweepMetrics m = {
+        {"stabilized", engine.stabilized() ? 1.0 : 0.0},
+        {"parallel_time", engine.time()},
+        {"doubled", doubling_time >= 0 ? 1.0 : 0.0},
+    };
+    if (doubling_time >= 0) {
+      m.emplace_back("doubling_parallel_time", parallel_time(doubling_time, n));
+      m.emplace_back("doubling_fraction",
+                     parallel_time(doubling_time, n) / engine.time());
+    }
+    return m;
   };
 
-  record(engine);
-  Interactions next_sample = stride;
-  Interactions doubling_time = -1;
-  while (!engine.stabilized() && engine.interactions() < budget) {
-    engine.step();
-    if (doubling_time < 0 && engine.opinion_count(0) >= doubling_level) {
-      doubling_time = engine.interactions();
-      record(engine);
-    }
-    if (engine.interactions() >= next_sample) {
-      record(engine);
-      next_sample = engine.interactions() + stride;
-    }
-  }
-  record(engine);
+  const SweepResult result = SweepRunner(spec).run(trial);
+  const SweepCellResult& cr = result.cells[0];
 
-  const double total_time = engine.time();
-  benchutil::param("stabilized", engine.stabilized() ? "yes" : "NO (budget hit)");
+  const double total_time = cr.values("parallel_time").front();
+  benchutil::param("stabilized", cr.rate("stabilized") == 1.0 ? "yes" : "NO (budget hit)");
   benchutil::param("stabilization parallel time", total_time);
-  if (doubling_time >= 0) {
-    const double doubling_parallel = parallel_time(doubling_time, n);
-    benchutil::param("parallel time to double x1", doubling_parallel);
-    benchutil::param("doubling fraction of total", doubling_parallel / total_time);
+  const std::vector<double> doubling_times = cr.values("doubling_parallel_time");
+  const bool doubled = cr.values("doubled").front() != 0.0;
+  if (doubled) {
+    benchutil::param("parallel time to double x1", doubling_times.front());
+    benchutil::param("doubling fraction of total",
+                     cr.values("doubling_fraction").front());
   } else {
     benchutil::param("parallel time to double x1", "never (stabilized first)");
   }
 
   // Zoomed table: only samples up to shortly after the doubling event.
-  const double zoom_end =
-      doubling_time >= 0 ? parallel_time(doubling_time, n) * 1.1 : total_time;
+  const Trajectory& traj = trajectories[0];
+  const double zoom_end = doubled ? doubling_times.front() * 1.1 : total_time;
   Table table({"parallel_time", "majority", "mean_minority", "max_difference"});
   const std::size_t step =
-      std::max<std::size_t>(1, time.size() / static_cast<std::size_t>(samples));
+      std::max<std::size_t>(1, traj.time.size() / static_cast<std::size_t>(samples));
   std::vector<double> zt;
   std::vector<double> zmaj;
   std::vector<double> zmin;
   std::vector<double> zdiff;
-  for (std::size_t i = 0; i < time.size(); i += step) {
-    if (time[i] > zoom_end) break;
+  for (std::size_t i = 0; i < traj.time.size(); i += step) {
+    if (traj.time[i] > zoom_end) break;
     table.row()
-        .cell(time[i], 3)
-        .cell(majority[i], 0)
-        .cell(mean_minority[i], 0)
-        .cell(max_difference[i], 0)
+        .cell(traj.time[i], 3)
+        .cell(traj.majority[i], 0)
+        .cell(traj.mean_minority[i], 0)
+        .cell(traj.max_difference[i], 0)
         .done();
-    zt.push_back(time[i]);
-    zmaj.push_back(majority[i]);
-    zmin.push_back(mean_minority[i]);
-    zdiff.push_back(max_difference[i]);
+    zt.push_back(traj.time[i]);
+    zmaj.push_back(traj.majority[i]);
+    zmin.push_back(traj.mean_minority[i]);
+    zdiff.push_back(traj.max_difference[i]);
   }
   benchutil::tsv_block("fig1_right", table);
 
@@ -130,6 +170,7 @@ int run(int argc, char** argv) {
   plot.add_series("mean minority", 'm', zt, zmin);
   plot.add_series("max difference", 'D', zt, zdiff);
   std::cout << plot.render();
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

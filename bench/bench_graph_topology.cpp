@@ -3,15 +3,17 @@
 // The paper's lower bound (like nearly all USD analyses) is proved on the
 // clique with a uniform scheduler. The original Angluin et al. model allows
 // arbitrary interaction graphs; this bench runs the *same* USD rule with the
-// same biased initial opinions on different topologies and reports
-// stabilization parallel time and the majority win rate.
+// same biased initial opinions on different topologies (one sweep cell per
+// topology; the graphs are built once and shared read-only across worker
+// threads) and reports stabilization parallel time and the majority win
+// rate.
 //
 // Expected shape: the clique is the fastest and most reliable; expanders
 // (random regular) are close; cycles/paths are dramatically slower (mixing
 // is Θ(n²) interactions) and much less reliable for the plurality outcome,
 // because local clustering lets minority pockets survive.
 //
-// Flags: --n, --k, --trials, --seed, --threads.
+// Flags: --n, --k, --trials, --seed, --threads, --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -20,7 +22,7 @@
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/core/graph.hpp"
 #include "ppsim/core/graph_simulator.hpp"
-#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/cli.hpp"
 
@@ -51,63 +53,72 @@ int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto n = static_cast<NodeId>(cli.get_int("n", 300));
   const auto k = static_cast<std::size_t>(cli.get_int("k", 4));
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const SweepCliOptions opts = read_sweep_flags(cli, 5, 8, "BENCH_graph_topology.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner("graph_topology",
                     "USD on general interaction graphs (extension beyond the clique)");
   benchutil::param("n", static_cast<std::int64_t>(n));
   benchutil::param("k", static_cast<std::int64_t>(k));
-  benchutil::param("trials per topology", static_cast<std::int64_t>(trials));
+  benchutil::param("trials per topology", static_cast<std::int64_t>(opts.trials));
 
   const UndecidedStateDynamics usd(k);
   const InitialConfig init = figure1_configuration(n, k);
   benchutil::param("bias", init.bias);
 
-  struct Topology {
-    std::string name;
-    InteractionGraph graph;
+  Xoshiro256pp gen_rng(opts.seed);
+  std::vector<InteractionGraph> graphs;
+  graphs.push_back(InteractionGraph::complete(n));
+  graphs.push_back(InteractionGraph::random_regular(n, 4, gen_rng));
+  graphs.push_back(InteractionGraph::star(n));
+  graphs.push_back(InteractionGraph::cycle(n));
+  const std::vector<std::string> names = {"clique", "random-4-regular", "star",
+                                          "cycle"};
+
+  SweepSpec spec;
+  spec.name = "graph_topology";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    SweepCell cell;
+    cell.n = n;
+    cell.k = k;
+    cell.bias = static_cast<double>(init.bias);
+    cell.name = names[i];
+    cell.params = {{"edges", static_cast<double>(graphs[i].num_edges())}};
+    spec.cells.push_back(cell);
+  }
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    const InteractionGraph& graph = graphs[ctx.cell_index];  // read-only share
+    const std::vector<State> placement = spread_states(init, n, ctx.rng);
+    GraphSimulator sim(usd, graph, placement, ctx.rng());
+    // The cycle coarsens diffusively: Θ(n²) parallel time, i.e. Θ(n³)
+    // interactions — budget 20·n³ so it can actually finish.
+    const auto budget = static_cast<Interactions>(20) *
+                        static_cast<Interactions>(n) * n * n;
+    TrialResult r;
+    r.stabilized = sim.run_until_stable(budget);
+    r.parallel_time = sim.parallel_time();
+    r.winner = sim.consensus_output();
+    return consensus_metrics(r);
   };
-  Xoshiro256pp gen_rng(seed);
-  std::vector<Topology> topologies;
-  topologies.push_back({"clique", InteractionGraph::complete(n)});
-  topologies.push_back({"random-4-regular",
-                        InteractionGraph::random_regular(n, 4, gen_rng)});
-  topologies.push_back({"star", InteractionGraph::star(n)});
-  topologies.push_back({"cycle", InteractionGraph::cycle(n)});
+
+  const SweepResult result = SweepRunner(spec).run(trial);
 
   Table table({"topology", "edges", "stabilized_rate", "mean_parallel_time",
                "max_parallel_time", "majority_win_rate"});
-
-  for (const auto& topo : topologies) {
-    auto trial = [&](std::uint64_t trial_seed, std::size_t) {
-      Xoshiro256pp placement(trial_seed);
-      GraphSimulator sim(usd, topo.graph, spread_states(init, n, placement),
-                         trial_seed ^ 0x5bd1e995u);
-      // The cycle coarsens diffusively: Θ(n²) parallel time, i.e. Θ(n³)
-      // interactions — budget 20·n³ so it can actually finish.
-      const auto budget = static_cast<Interactions>(20) *
-                          static_cast<Interactions>(n) * n * n;
-      const bool stable = sim.run_until_stable(budget);
-      TrialResult r;
-      r.stabilized = stable;
-      r.parallel_time = sim.parallel_time();
-      r.winner = sim.consensus_output();
-      return r;
-    };
-    const TrialAggregate agg =
-        aggregate(run_trials(trial, trials, seed + topo.graph.num_edges(), threads));
+  for (const SweepCellResult& cr : result.cells) {
     table.row()
-        .cell(topo.name)
-        .cell(static_cast<std::int64_t>(topo.graph.num_edges()))
-        .cell(agg.stabilized_fraction(), 2)
-        .cell(agg.parallel_time.mean(), 1)
-        .cell(agg.parallel_time.max(), 1)
-        .cell(agg.win_rate(0), 2)
+        .cell(cr.cell.label())
+        .cell(static_cast<std::int64_t>(cr.cell.param("edges", 0.0)))
+        .cell(cr.rate("stabilized"), 2)
+        .cell(cr.mean_where("parallel_time", "stabilized"), 1)
+        .cell(cr.max_where("parallel_time", "stabilized"), 1)
+        .cell(cr.rate("majority_win"), 2)
         .done();
-    std::cout << "  " << topo.name << " done\n";
+    std::cout << "  " << cr.cell.label() << " done\n";
   }
 
   benchutil::tsv_block("graph_topology", table);
@@ -116,6 +127,7 @@ int run(int argc, char** argv) {
                "close;\nstar funnels everything through the hub; the cycle is orders "
                "of magnitude\nslower (diffusive mixing) and the majority win rate "
                "degrades.\n";
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

@@ -5,18 +5,20 @@
 // how far above the settle point the excursion actually goes, in units of
 // √(n ln n) — the paper's drift analysis says O(1) such units.
 //
-// Flags: --n, --trials, --seed, --kmin, --kmax, --threads.
+// One sweep cell per k; the worst excursion per cell is the max over the
+// per-trial "max_undecided" metric (no shared mutable state needed).
+//
+// Flags: --n, --trials, --seed, --kmin, --kmax, --threads, --json.
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <mutex>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/hitting_times.hpp"
 #include "ppsim/analysis/initial.hpp"
-#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/cli.hpp"
 
@@ -27,55 +29,65 @@ using namespace ppsim;
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 100'000);
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 31));
   const std::int64_t kmin = cli.get_int("kmin", 4);
   const std::int64_t kmax = cli.get_int("kmax", 64);
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const SweepCliOptions opts =
+      read_sweep_flags(cli, 5, 31, "BENCH_lemma31_undecided.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner("lemma31_undecided",
                     "Lemma 3.1: max_t u(t) vs the explicit ceiling and the settle point");
   benchutil::param("n", n);
-  benchutil::param("trials per k", static_cast<std::int64_t>(trials));
+  benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
   benchutil::param("sqrt(n ln n)", std::sqrt(static_cast<double>(n) *
                                              std::log(static_cast<double>(n))));
+
+  SweepSpec spec;
+  spec.name = "lemma31_undecided";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  std::vector<InitialConfig> inits;
+  for (std::int64_t k = kmin; k <= kmax; k *= 2) {
+    const auto ku = static_cast<std::size_t>(k);
+    inits.push_back(figure1_configuration(n, ku));
+    SweepCell cell;
+    cell.n = n;
+    cell.k = ku;
+    cell.bias = static_cast<double>(inits.back().bias);
+    spec.cells.push_back(cell);
+  }
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
+    const UndecidedExcursion exc = max_undecided_over_run(engine, 100000 * n);
+    return {
+        {"stabilized", exc.stabilized ? 1.0 : 0.0},
+        {"max_undecided", static_cast<double>(exc.max_undecided)},
+    };
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
 
   Table table({"k", "settle_point", "ceiling", "max_u_worst_trial",
                "excursion_over_settle_in_sqrt_nlogn", "ceiling_respected"});
 
   bool all_respected = true;
-  for (std::int64_t k = kmin; k <= kmax; k *= 2) {
-    const auto ku = static_cast<std::size_t>(k);
-    const InitialConfig init = figure1_configuration(n, ku);
-
-    std::mutex mu;
-    Count worst_max_u = 0;
-    auto trial = [&](std::uint64_t trial_seed, std::size_t) {
-      UsdEngine engine(init.opinion_counts, trial_seed);
-      const UndecidedExcursion exc = max_undecided_over_run(engine, 100000 * n);
-      {
-        const std::lock_guard<std::mutex> lock(mu);
-        worst_max_u = std::max(worst_max_u, exc.max_undecided);
-      }
-      TrialResult r;
-      r.stabilized = exc.stabilized;
-      return r;
-    };
-    run_trials(trial, trials, seed + ku, threads);
-
+  for (const SweepCellResult& cr : result.cells) {
+    const auto ku = cr.cell.k;
     const double settle = bounds::usd_settle_point(n, ku);
     const double ceiling = bounds::lemma31_ceiling(n, ku);
     const double unit =
         std::sqrt(static_cast<double>(n) * std::log(static_cast<double>(n)));
-    const double excursion = (static_cast<double>(worst_max_u) - settle) / unit;
-    const bool respected = static_cast<double>(worst_max_u) <= ceiling;
+    const double worst_max_u = cr.max("max_undecided");
+    const double excursion = (worst_max_u - settle) / unit;
+    const bool respected = worst_max_u <= ceiling;
     all_respected = all_respected && respected;
     table.row()
-        .cell(k)
+        .cell(static_cast<std::int64_t>(ku))
         .cell(settle, 0)
         .cell(ceiling, 0)
-        .cell(worst_max_u)
+        .cell(static_cast<std::int64_t>(worst_max_u))
         .cell(excursion, 3)
         .cell(respected ? "yes" : "NO")
         .done();
@@ -85,6 +97,7 @@ int run(int argc, char** argv) {
   table.write_pretty(std::cout);
   std::cout << (all_respected ? "\nLemma 3.1 ceiling respected on every run.\n"
                               : "\nCEILING VIOLATED — investigate.\n");
+  benchutil::finish_sweep(result, opts);
   return all_respected ? 0 : 1;
 }
 

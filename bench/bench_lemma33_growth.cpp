@@ -4,7 +4,10 @@
 // measured hitting time divided by kn/25 should be >= 1 for every trial,
 // and typically much larger (the constant 1/25 is loose).
 //
-// Flags: --n, --trials, --seed, --kmin, --kmax, --threads.
+// One sweep cell per k; trials report the hit flag and the hitting time as
+// metrics, and violations are counted from the per-trial values.
+//
+// Flags: --n, --trials, --seed, --kmin, --kmax, --threads, --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -13,10 +16,9 @@
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/hitting_times.hpp"
 #include "ppsim/analysis/initial.hpp"
-#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/cli.hpp"
-#include "ppsim/util/stats.hpp"
 
 namespace {
 
@@ -25,56 +27,70 @@ using namespace ppsim;
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 100'000);
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 33));
   const std::int64_t kmin = cli.get_int("kmin", 8);
   const std::int64_t kmax = cli.get_int("kmax", 64);
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const SweepCliOptions opts = read_sweep_flags(cli, 5, 33, "BENCH_lemma33_growth.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner(
       "lemma33_growth",
       "Lemma 3.3: interactions for x_1 to reach 2n/k (lower bound: kn/25)");
   benchutil::param("n", n);
-  benchutil::param("trials per k", static_cast<std::int64_t>(trials));
+  benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
+
+  SweepSpec spec;
+  spec.name = "lemma33_growth";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  std::vector<InitialConfig> inits;
+  for (std::int64_t k = kmin; k <= kmax; k *= 2) {
+    const auto ku = static_cast<std::size_t>(k);
+    inits.push_back(figure1_configuration(n, ku));
+    SweepCell cell;
+    cell.n = n;
+    cell.k = ku;
+    cell.bias = static_cast<double>(inits.back().bias);
+    cell.params = {{"target", bounds::lemma33_target_level(n, ku)},
+                   {"bound", bounds::lemma33_interactions(n, ku)}};
+    spec.cells.push_back(cell);
+  }
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
+    const auto target = static_cast<Count>(ctx.cell.param("target", 0.0));
+    const HittingResult r =
+        time_until_opinion_reaches(engine, 0, target, 100000 * n);
+    SweepMetrics m = {{"hit", r.hit ? 1.0 : 0.0}};
+    // A run that stabilized below the target never violated the bound (the
+    // opinion never grew that fast) — it simply reports no hitting time.
+    if (r.hit) {
+      m.emplace_back("hit_interactions", static_cast<double>(r.interactions_at_hit));
+    }
+    return m;
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
 
   Table table({"k", "target_2n_over_k", "budget_kn_25", "mean_hit_interactions",
                "min_hit_interactions", "min_ratio_to_bound", "violations"});
 
   bool bound_held = true;
-  for (std::int64_t k = kmin; k <= kmax; k *= 2) {
-    const auto ku = static_cast<std::size_t>(k);
-    const InitialConfig init = figure1_configuration(n, ku);
-    const auto target = static_cast<Count>(bounds::lemma33_target_level(n, ku));
-    const double bound = bounds::lemma33_interactions(n, ku);
-
-    RunningStats hit_times;
+  for (const SweepCellResult& cr : result.cells) {
+    const double bound = cr.cell.param("bound", 0.0);
     std::size_t violations = 0;
-    auto trial = [&, target](std::uint64_t trial_seed, std::size_t) {
-      UsdEngine engine(init.opinion_counts, trial_seed);
-      const HittingResult r =
-          time_until_opinion_reaches(engine, 0, target, 100000 * n);
-      TrialResult out;
-      out.stabilized = r.hit;
-      out.interactions = r.hit ? r.interactions_at_hit : r.interactions_used;
-      return out;
-    };
-    const auto results = run_trials(trial, trials, seed + ku, threads);
-    for (const auto& r : results) {
-      // r.stabilized carries "hit"; a run that stabilized below the target
-      // never violated the bound (the opinion never grew that fast).
-      if (!r.stabilized) continue;
-      hit_times.add(static_cast<double>(r.interactions));
-      if (static_cast<double>(r.interactions) < bound) ++violations;
+    for (const double hit : cr.values("hit_interactions")) {
+      if (hit < bound) ++violations;
     }
     bound_held = bound_held && violations == 0;
+    const bool any = !cr.values("hit_interactions").empty();
     table.row()
-        .cell(k)
-        .cell(target)
+        .cell(static_cast<std::int64_t>(cr.cell.k))
+        .cell(static_cast<std::int64_t>(cr.cell.param("target", 0.0)))
         .cell(bound, 0)
-        .cell(hit_times.count() > 0 ? hit_times.mean() : 0.0, 0)
-        .cell(hit_times.count() > 0 ? hit_times.min() : 0.0, 0)
-        .cell(hit_times.count() > 0 ? hit_times.min() / bound : 0.0, 2)
+        .cell(any ? cr.mean("hit_interactions") : 0.0, 0)
+        .cell(any ? cr.min("hit_interactions") : 0.0, 0)
+        .cell(any ? cr.min("hit_interactions") / bound : 0.0, 2)
         .cell(static_cast<std::int64_t>(violations))
         .done();
   }
@@ -85,6 +101,7 @@ int run(int argc, char** argv) {
                     ? "\nLemma 3.3 bound held on every trial (ratios >> 1: the "
                       "1/25 constant is loose, as expected for a w.h.p. bound).\n"
                     : "\nBOUND VIOLATED — investigate.\n");
+  benchutil::finish_sweep(result, opts);
   return bound_held ? 0 : 1;
 }
 

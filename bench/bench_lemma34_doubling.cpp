@@ -1,10 +1,11 @@
 // Lemma 3.4 validation: starting from an adversarial configuration whose
 // maximum pairwise difference is α/2 = ω(√(n ln n)), how many interactions
 // until Δmax reaches α (i.e. doubles)? The lemma lower-bounds this by kn/24
-// w.h.p. We sweep k and report measured doubling times against the bound.
+// w.h.p. We sweep k (one cell per k) and report measured doubling times
+// against the bound.
 //
 // Flags: --n, --trials, --seed, --kmin, --kmax, --bias-mult (α/2 as a
-//        multiple of √(n ln n)), --threads.
+//        multiple of √(n ln n)), --threads, --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -13,10 +14,9 @@
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/hitting_times.hpp"
 #include "ppsim/analysis/initial.hpp"
-#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/cli.hpp"
-#include "ppsim/util/stats.hpp"
 
 namespace {
 
@@ -25,57 +25,73 @@ using namespace ppsim;
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 100'000);
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 34));
   const std::int64_t kmin = cli.get_int("kmin", 8);
   const std::int64_t kmax = cli.get_int("kmax", 64);
   const double bias_mult = cli.get_double("bias-mult", 2.0);
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const SweepCliOptions opts =
+      read_sweep_flags(cli, 5, 34, "BENCH_lemma34_doubling.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner(
       "lemma34_doubling",
       "Lemma 3.4: interactions for the max difference to double (bound: kn/24)");
   benchutil::param("n", n);
-  benchutil::param("trials per k", static_cast<std::int64_t>(trials));
+  benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
   benchutil::param("alpha/2 multiplier of sqrt(n ln n)", bias_mult);
+
+  SweepSpec spec;
+  spec.name = "lemma34_doubling";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  std::vector<InitialConfig> inits;
+  for (std::int64_t k = kmin; k <= kmax; k *= 2) {
+    const auto ku = static_cast<std::size_t>(k);
+    const auto alpha_half = static_cast<Count>(bias_mult * bounds::whp_bias(n));
+    inits.push_back(adversarial_configuration(n, ku, alpha_half));
+    SweepCell cell;
+    cell.n = n;
+    cell.k = ku;
+    cell.bias = static_cast<double>(inits.back().bias);
+    cell.params = {{"alpha", static_cast<double>(2 * inits.back().bias)},
+                   {"bound", bounds::lemma34_interactions(n, ku)}};
+    spec.cells.push_back(cell);
+  }
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
+    const auto alpha = static_cast<Count>(ctx.cell.param("alpha", 0.0));
+    const HittingResult r = time_until_delta_reaches(engine, alpha, 100000 * n);
+    SweepMetrics m = {{"hit", r.hit ? 1.0 : 0.0}};
+    if (r.hit) {  // Δmax never doubled: bound trivially held, no time to report
+      m.emplace_back("doubling_interactions",
+                     static_cast<double>(r.interactions_at_hit));
+    }
+    return m;
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
 
   Table table({"k", "alpha_half", "alpha", "budget_kn_24", "mean_doubling",
                "min_doubling", "min_ratio_to_bound", "violations"});
 
   bool bound_held = true;
-  for (std::int64_t k = kmin; k <= kmax; k *= 2) {
-    const auto ku = static_cast<std::size_t>(k);
-    const auto alpha_half = static_cast<Count>(bias_mult * bounds::whp_bias(n));
-    const InitialConfig init = adversarial_configuration(n, ku, alpha_half);
-    const Count alpha = 2 * init.bias;
-    const double bound = bounds::lemma34_interactions(n, ku);
-
-    RunningStats doubling_times;
+  for (const SweepCellResult& cr : result.cells) {
+    const double bound = cr.cell.param("bound", 0.0);
     std::size_t violations = 0;
-    auto trial = [&, alpha](std::uint64_t trial_seed, std::size_t) {
-      UsdEngine engine(init.opinion_counts, trial_seed);
-      const HittingResult r = time_until_delta_reaches(engine, alpha, 100000 * n);
-      TrialResult out;
-      out.stabilized = r.hit;
-      out.interactions = r.hit ? r.interactions_at_hit : r.interactions_used;
-      return out;
-    };
-    const auto results = run_trials(trial, trials, seed + ku, threads);
-    for (const auto& r : results) {
-      if (!r.stabilized) continue;  // Δmax never doubled: bound trivially held
-      doubling_times.add(static_cast<double>(r.interactions));
-      if (static_cast<double>(r.interactions) < bound) ++violations;
+    for (const double hit : cr.values("doubling_interactions")) {
+      if (hit < bound) ++violations;
     }
     bound_held = bound_held && violations == 0;
+    const bool any = !cr.values("doubling_interactions").empty();
     table.row()
-        .cell(k)
-        .cell(init.bias)
-        .cell(alpha)
+        .cell(static_cast<std::int64_t>(cr.cell.k))
+        .cell(static_cast<std::int64_t>(cr.cell.bias))
+        .cell(static_cast<std::int64_t>(cr.cell.param("alpha", 0.0)))
         .cell(bound, 0)
-        .cell(doubling_times.count() > 0 ? doubling_times.mean() : 0.0, 0)
-        .cell(doubling_times.count() > 0 ? doubling_times.min() : 0.0, 0)
-        .cell(doubling_times.count() > 0 ? doubling_times.min() / bound : 0.0, 2)
+        .cell(any ? cr.mean("doubling_interactions") : 0.0, 0)
+        .cell(any ? cr.min("doubling_interactions") : 0.0, 0)
+        .cell(any ? cr.min("doubling_interactions") / bound : 0.0, 2)
         .cell(static_cast<std::int64_t>(violations))
         .done();
   }
@@ -84,6 +100,7 @@ int run(int argc, char** argv) {
   table.write_pretty(std::cout);
   std::cout << (bound_held ? "\nLemma 3.4 bound held on every trial.\n"
                            : "\nBOUND VIOLATED — investigate.\n");
+  benchutil::finish_sweep(result, opts);
   return bound_held ? 0 : 1;
 }
 

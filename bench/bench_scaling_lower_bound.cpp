@@ -8,9 +8,11 @@
 //
 // The paper's claim is about *shape*: stabilization time grows ~linearly in
 // k (for fixed n), sandwiched between the two bounds, making the lower bound
-// "almost tight". Output: one row per k with measured mean/min/max parallel
-// time, the two bound values, and the measured/LB ratio; then the fitted
-// constants.
+// "almost tight". One sweep cell per k, fanned out over --threads with
+// deterministic per-trial streams; output: one row per k with measured
+// mean/min/max parallel time, the two bound values, and the measured/LB
+// ratio; then the fitted constants. The unified sweep JSON (--json) carries
+// every per-trial value for CI trend tracking.
 //
 // Flags: --n, --trials, --seed, --kmin, --kmax (sweep is geometric-ish),
 //        --threads, --engine sequential|batched (batched makes paper-scale n
@@ -23,12 +25,10 @@
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/analysis/scaling.hpp"
-#include "ppsim/core/batched_simulator.hpp"
-#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
-#include "ppsim/util/stats.hpp"
 
 namespace {
 
@@ -37,16 +37,14 @@ using namespace ppsim;
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 250'000);
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 5));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::int64_t kmin = cli.get_int("kmin", 8);
   // Stay well inside k = o(√n/ln n): for n = 250k, √n/ln n ≈ 40, so the
   // default sweep tops out at 32 (the bound degenerates beyond).
   const std::int64_t kmax = cli.get_int("kmax", 32);
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
   const std::string engine = cli.get_string("engine", "sequential");
   const Interactions round_divisor = cli.get_int("round-divisor", 16);
-  const std::string json_path = cli.get_string("json", "BENCH_scaling_lower_bound.json");
+  const SweepCliOptions opts =
+      read_sweep_flags(cli, 5, 7, "BENCH_scaling_lower_bound.json");
   cli.validate_no_unknown_flags();
   PPSIM_CHECK(engine == "sequential" || engine == "batched",
               "--engine must be sequential or batched");
@@ -55,73 +53,80 @@ int run(int argc, char** argv) {
                     "Theorem 3.5: stabilization time vs k, against LB (k/25)ln(sqrt(n)/(k ln n)) "
                     "and UB shape k ln n");
   benchutil::param("n", n);
-  benchutil::param("trials per k", static_cast<std::int64_t>(trials));
-  benchutil::param("seed", static_cast<std::int64_t>(seed));
+  benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
+  benchutil::param("seed", static_cast<std::int64_t>(opts.seed));
   benchutil::param("engine", engine);
+  benchutil::param("threads", static_cast<std::int64_t>(opts.threads));
 
-  std::vector<std::size_t> ks;
+  SweepSpec spec;
+  spec.name = "scaling_lower_bound";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  std::vector<InitialConfig> inits;
+  std::vector<UndecidedStateDynamics> protocols;
+  std::vector<Configuration> initials;
   for (std::int64_t k = kmin; k <= kmax; k = (k * 3) / 2) {
-    ks.push_back(static_cast<std::size_t>(k));
+    const auto ku = static_cast<std::size_t>(k);
+    inits.push_back(figure1_configuration(n, ku));
+    protocols.emplace_back(ku);
+    initials.push_back(
+        UndecidedStateDynamics::initial_configuration(inits.back().opinion_counts));
+    SweepCell cell;
+    cell.n = n;
+    cell.k = ku;
+    cell.bias = static_cast<double>(inits.back().bias);
+    cell.engine = engine == "batched" ? EngineKind::kBatched : EngineKind::kSequential;
+    cell.protocol = engine == "batched" ? "usd-batched" : "usd-specialized";
+    cell.round_divisor = round_divisor;
+    spec.cells.push_back(cell);
   }
+
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    TrialResult r;
+    if (ctx.cell.engine == EngineKind::kBatched) {
+      Engine sim = ctx.make_engine(protocols[ctx.cell_index], initials[ctx.cell_index]);
+      r = run_engine_trial(sim, 100000 * n);
+    } else {
+      UsdEngine e(inits[ctx.cell_index].opinion_counts, ctx.seed);
+      e.run_until_stable(100000 * n);
+      r.stabilized = e.stabilized();
+      r.interactions = e.interactions();
+      r.parallel_time = e.time();
+      r.winner = e.winner();
+    }
+    return consensus_metrics(r);
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
 
   Table table({"k", "bias", "mean_parallel_time", "min", "max", "lower_bound",
                "upper_bound_kln_n", "measured_over_lb"});
   std::vector<ScalingPoint> points;
-  std::vector<benchutil::JsonObject> json_rows;
-
-  for (const std::size_t k : ks) {
-    const InitialConfig init = figure1_configuration(n, k);
-    const UndecidedStateDynamics usd(k);
-    const Configuration initial =
-        UndecidedStateDynamics::initial_configuration(init.opinion_counts);
-    auto trial = [&](std::uint64_t trial_seed, std::size_t) {
-      TrialResult r;
-      if (engine == "batched") {
-        BatchedSimulator sim(usd, initial, trial_seed, {.round_divisor = round_divisor});
-        const RunOutcome out = sim.run_until_stable(100000 * n);
-        r.stabilized = out.stabilized;
-        r.interactions = out.interactions;
-        r.parallel_time = sim.parallel_time();
-        r.winner = out.consensus;
-      } else {
-        UsdEngine e(init.opinion_counts, trial_seed);
-        e.run_until_stable(100000 * n);
-        r.stabilized = e.stabilized();
-        r.interactions = e.interactions();
-        r.parallel_time = e.time();
-        r.winner = e.winner();
-      }
-      return r;
-    };
-    const auto results = run_trials(trial, trials, seed + k, threads);
-    const TrialAggregate agg = aggregate(results);
+  for (const SweepCellResult& cr : result.cells) {
+    const std::size_t k = cr.cell.k;
     const double lb = bounds::theorem35_parallel_lower_bound(n, k);
     const double ub = bounds::amir_parallel_upper_bound(n, k);
-    const double mean = agg.parallel_time.mean();
+    // Stabilized trials only: a budget-capped trial would smuggle the
+    // 100000-parallel-time budget into the fit and the LB-ratio verdict.
+    const double mean = cr.mean_where("parallel_time", "stabilized");
     table.row()
         .cell(static_cast<std::int64_t>(k))
-        .cell(init.bias)
+        .cell(static_cast<std::int64_t>(cr.cell.bias))
         .cell(mean, 2)
-        .cell(agg.parallel_time.min(), 2)
-        .cell(agg.parallel_time.max(), 2)
+        .cell(cr.min_where("parallel_time", "stabilized"), 2)
+        .cell(cr.max_where("parallel_time", "stabilized"), 2)
         .cell(lb, 3)
         .cell(ub, 1)
         .cell(lb > 0 ? mean / lb : 0.0, 2)
         .done();
     points.push_back({n, k, mean});
-    benchutil::JsonObject row;
-    row.field("k", static_cast<std::int64_t>(k))
-        .field("bias", init.bias)
-        .field("mean_parallel_time", mean)
-        .field("min", agg.parallel_time.min())
-        .field("max", agg.parallel_time.max())
-        .field("lower_bound", lb)
-        .field("upper_bound_kln_n", ub)
-        .field("stabilized", static_cast<std::int64_t>(agg.stabilized));
-    json_rows.push_back(row);
+    const auto stabilized =
+        static_cast<std::size_t>(cr.rate("stabilized") *
+                                 static_cast<double>(cr.trials.size()) + 0.5);
     std::cout << "  k=" << k << " done: mean parallel time " << format_double(mean, 2)
-              << " (" << agg.stabilized << "/" << trials << " stabilized, majority won "
-              << format_double(agg.win_rate(0) * 100.0, 1) << "%)\n";
+              << " (" << stabilized << "/" << cr.trials.size() << " stabilized, majority won "
+              << format_double(cr.rate("majority_win") * 100.0, 1) << "%)\n";
   }
 
   benchutil::tsv_block("scaling_lower_bound", table);
@@ -146,22 +151,7 @@ int run(int argc, char** argv) {
   std::cout << (linear_in_k ? "growth is linear in k (R^2 > 0.9)\n"
                             : "WARNING: growth not cleanly linear in k\n");
 
-  if (!json_path.empty()) {
-    benchutil::JsonObject report;
-    report.field("bench", "scaling_lower_bound")
-        .field("n", n)
-        .field("trials_per_k", static_cast<std::int64_t>(trials))
-        .field("seed", static_cast<std::int64_t>(seed))
-        .field("engine", engine)
-        .field("round_divisor", round_divisor)
-        .field("rows", json_rows)
-        .field("affine_slope", fit.affine_in_k.slope)
-        .field("affine_r_squared", fit.affine_in_k.r_squared)
-        .field("min_ratio_to_lower_bound", fit.min_ratio_to_lower_bound)
-        .field("lower_bound_holds", fit.min_ratio_to_lower_bound >= 1.0);
-    report.write_file(json_path);
-    std::cout << "json report written to " << json_path << "\n";
-  }
+  benchutil::finish_sweep(result, opts);
   return fit.min_ratio_to_lower_bound >= 1.0 ? 0 : 1;
 }
 

@@ -7,7 +7,10 @@
 // epochs), followed by a rapid extinction cascade at the very end when the
 // undecided count drops below the surviving opinions' thresholds.
 //
-// Flags: --n, --k, --seed, --samples.
+// Runs as a one-cell sweep (per-trial trajectory slots; the plot renders
+// trial 0, the sweep JSON aggregates plateau fractions across --trials).
+//
+// Flags: --n, --k, --seed, --samples, --trials, --threads, --json.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "bench_common.hpp"
 #include "ppsim/analysis/bounds.hpp"
 #include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/ascii_plot.hpp"
 #include "ppsim/util/cli.hpp"
@@ -23,13 +27,19 @@ namespace {
 
 using namespace ppsim;
 
+struct Trajectory {
+  std::vector<double> time;
+  std::vector<double> survivors;
+  std::vector<double> undecided;
+};
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 250'000);
   const auto k = static_cast<std::size_t>(
       cli.get_int("k", static_cast<std::int64_t>(bounds::paper_k(n))));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 44));
   const std::int64_t samples = cli.get_int("samples", 300);
+  const SweepCliOptions opts = read_sweep_flags(cli, 1, 44, "");
   cli.validate_no_unknown_flags();
 
   const InitialConfig init = figure1_configuration(n, k);
@@ -39,51 +49,80 @@ int run(int argc, char** argv) {
   benchutil::param("k", static_cast<std::int64_t>(k));
   benchutil::param("bias", init.bias);
 
-  UsdEngine engine(init.opinion_counts, seed);
-  std::vector<double> time;
-  std::vector<double> survivors;
-  std::vector<double> undecided;
+  SweepSpec spec;
+  spec.name = "survivors";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  SweepCell cell;
+  cell.n = n;
+  cell.k = k;
+  cell.bias = static_cast<double>(init.bias);
+  spec.cells.push_back(cell);
 
+  std::vector<Trajectory> trajectories(opts.trials);
   const Interactions stride = std::max<Interactions>(1, n / 20);
-  Interactions next = 0;
-  double first_extinction = -1.0;
-  while (!engine.stabilized()) {
-    if (engine.interactions() >= next) {
-      time.push_back(engine.time());
-      survivors.push_back(static_cast<double>(engine.surviving_opinions()));
-      undecided.push_back(static_cast<double>(engine.undecided()));
-      if (first_extinction < 0 && engine.surviving_opinions() < k) {
-        first_extinction = engine.time();
-      }
-      next = engine.interactions() + stride;
-    }
-    engine.step();
-  }
-  time.push_back(engine.time());
-  survivors.push_back(static_cast<double>(engine.surviving_opinions()));
-  undecided.push_back(static_cast<double>(engine.undecided()));
 
-  const double total = engine.time();
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    Trajectory& traj = trajectories[ctx.trial];  // private slot per trial
+    UsdEngine engine(init.opinion_counts, ctx.seed);
+    Interactions next = 0;
+    double first_extinction = -1.0;
+    while (!engine.stabilized()) {
+      if (engine.interactions() >= next) {
+        traj.time.push_back(engine.time());
+        traj.survivors.push_back(static_cast<double>(engine.surviving_opinions()));
+        traj.undecided.push_back(static_cast<double>(engine.undecided()));
+        if (first_extinction < 0 && engine.surviving_opinions() < k) {
+          first_extinction = engine.time();
+        }
+        next = engine.interactions() + stride;
+      }
+      engine.step();
+    }
+    traj.time.push_back(engine.time());
+    traj.survivors.push_back(static_cast<double>(engine.surviving_opinions()));
+    traj.undecided.push_back(static_cast<double>(engine.undecided()));
+
+    const double total = engine.time();
+    return {
+        {"parallel_time", total},
+        {"first_extinction", first_extinction},
+        {"plateau_fraction", first_extinction > 0 ? first_extinction / total : 1.0},
+    };
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
+  const SweepCellResult& cr = result.cells[0];
+
+  const double total = cr.values("parallel_time").front();
+  const double first_extinction = cr.values("first_extinction").front();
   benchutil::param("stabilization parallel time", total);
   benchutil::param("first extinction at", first_extinction);
   benchutil::param("plateau fraction (first extinction / total)",
-                   first_extinction > 0 ? first_extinction / total : 1.0);
+                   cr.values("plateau_fraction").front());
 
+  const Trajectory& traj = trajectories[0];
   Table table({"parallel_time", "surviving_opinions", "undecided"});
   const std::size_t step =
-      std::max<std::size_t>(1, time.size() / static_cast<std::size_t>(samples));
-  for (std::size_t i = 0; i < time.size(); i += step) {
-    table.row().cell(time[i], 3).cell(survivors[i], 0).cell(undecided[i], 0).done();
+      std::max<std::size_t>(1, traj.time.size() / static_cast<std::size_t>(samples));
+  for (std::size_t i = 0; i < traj.time.size(); i += step) {
+    table.row()
+        .cell(traj.time[i], 3)
+        .cell(traj.survivors[i], 0)
+        .cell(traj.undecided[i], 0)
+        .done();
   }
   benchutil::tsv_block("survivors", table);
 
   AsciiPlot plot(100, 20);
   plot.set_labels("parallel time", "opinions alive");
-  plot.add_series("survivors", 'S', time, survivors);
+  plot.add_series("survivors", 'S', traj.time, traj.survivors);
   std::cout << plot.render();
   std::cout << "\nExpected shape: long plateau at k = " << k
             << " (the Theorem 3.5 induction keeps every opinion alive),\nthen an "
                "extinction cascade concentrated at the end of the run.\n";
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

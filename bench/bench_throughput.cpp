@@ -6,13 +6,18 @@
 //   * specialized — UsdEngine, the hand-tuned sequential USD engine;
 //   * batched     — BatchedSimulator, Θ(n) interactions per O(q²) round.
 //
-// Reports wall-clock seconds, simulated interactions, interactions/second
-// and the batched-vs-sequential speedup; the same numbers are written as
-// JSON (--json, default BENCH_throughput.json) so CI can track the perf
-// trajectory across commits.
+// Runs on the SweepRunner: one cell per engine, --trials trials per cell,
+// fanned out over --threads workers with deterministic per-trial RNG
+// streams (the per-trial interaction counts are thread-count invariant;
+// only wall clock changes). Reports wall-clock seconds, attempted vs
+// *effective* interactions (attempted minus the batched engine's clamped
+// τ-leaping overdraw — previously the clamped share was double-counted),
+// interactions/second and the batched-vs-sequential speedup; the same
+// numbers land in the unified sweep JSON (--json, default
+// BENCH_throughput.json) so CI can track the perf trajectory.
 //
 // Flags: --n, --k, --trials, --seed, --max-parallel, --round-divisor,
-//        --json (empty string disables the file).
+//        --threads (0 = hardware), --json (empty string disables the file).
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -20,8 +25,7 @@
 
 #include "bench_common.hpp"
 #include "ppsim/analysis/initial.hpp"
-#include "ppsim/core/batched_simulator.hpp"
-#include "ppsim/core/simulator.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/cli.hpp"
 #include "ppsim/util/table.hpp"
@@ -30,41 +34,14 @@ namespace {
 
 using namespace ppsim;
 
-struct EngineRun {
-  std::string engine;
-  double wall_seconds = 0.0;
-  Interactions interactions = 0;
-  double interactions_per_second = 0.0;
-  bool stabilized = true;  ///< true iff *every* trial stabilized in budget
-};
-
-template <typename MakeAndRun>
-EngineRun measure(const std::string& name, std::size_t trials, MakeAndRun&& run_once) {
-  EngineRun r;
-  r.engine = name;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const auto start = std::chrono::steady_clock::now();
-    const auto [interactions, stabilized] = run_once(t);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    r.wall_seconds += elapsed.count();
-    r.interactions += interactions;
-    r.stabilized = r.stabilized && stabilized;
-  }
-  r.interactions_per_second =
-      r.wall_seconds > 0.0 ? static_cast<double>(r.interactions) / r.wall_seconds : 0.0;
-  return r;
-}
-
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const Count n = cli.get_int("n", 10'000'000);
   const auto k = static_cast<std::size_t>(cli.get_int("k", 3));
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 1));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const double max_parallel = cli.get_double("max-parallel", 1000.0);
   const Interactions round_divisor = cli.get_int("round-divisor", 16);
-  const std::string json_path = cli.get_string("json", "BENCH_throughput.json");
+  const SweepCliOptions opts =
+      read_sweep_flags(cli, 1, 42, "BENCH_throughput.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner("throughput",
@@ -72,10 +49,11 @@ int run(int argc, char** argv) {
                     "sequential (generic + specialized) vs batched rounds");
   benchutil::param("n", n);
   benchutil::param("k", static_cast<std::int64_t>(k));
-  benchutil::param("trials", static_cast<std::int64_t>(trials));
-  benchutil::param("seed", static_cast<std::int64_t>(seed));
+  benchutil::param("trials", static_cast<std::int64_t>(opts.trials));
+  benchutil::param("seed", static_cast<std::int64_t>(opts.seed));
   benchutil::param("max parallel time", max_parallel);
   benchutil::param("batched round divisor", round_divisor);
+  benchutil::param("threads", static_cast<std::int64_t>(opts.threads));
 
   const InitialConfig init = figure1_configuration(n, k);
   const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
@@ -83,73 +61,79 @@ int run(int argc, char** argv) {
   const Configuration initial =
       UndecidedStateDynamics::initial_configuration(init.opinion_counts);
 
-  std::vector<EngineRun> runs;
-  runs.push_back(measure("sequential", trials, [&](std::size_t t) {
-    Simulator sim(usd, initial, seed + t, Simulator::Engine::kTable);
-    const RunOutcome out = sim.run_until_stable(budget);
-    return std::pair(out.interactions, out.stabilized);
-  }));
-  std::cout << "  sequential done\n";
-  runs.push_back(measure("specialized", trials, [&](std::size_t t) {
-    UsdEngine engine(init.opinion_counts, seed + t);
-    const bool stabilized = engine.run_until_stable(budget);
-    return std::pair(engine.interactions(), stabilized);
-  }));
-  std::cout << "  specialized done\n";
-  runs.push_back(measure("batched", trials, [&](std::size_t t) {
-    BatchedSimulator sim(usd, initial, seed + t, {.round_divisor = round_divisor});
-    const RunOutcome out = sim.run_until_stable(budget);
-    return std::pair(out.interactions, out.stabilized);
-  }));
-  std::cout << "  batched done\n";
+  SweepSpec spec;
+  spec.name = "throughput";
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  for (const char* variant : {"sequential", "specialized", "batched"}) {
+    SweepCell cell;
+    cell.n = n;
+    cell.k = k;
+    cell.bias = static_cast<double>(init.bias);
+    cell.protocol = variant;
+    cell.engine = std::string(variant) == "batched" ? EngineKind::kBatched
+                                                    : EngineKind::kSequential;
+    cell.round_divisor = round_divisor;
+    cell.name = variant;
+    spec.cells.push_back(cell);
+  }
 
-  Table table({"engine", "wall_seconds", "interactions", "interactions_per_sec",
-               "stabilized"});
-  for (const EngineRun& r : runs) {
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    const auto start = std::chrono::steady_clock::now();
+    TrialResult r;
+    if (ctx.cell.protocol == "specialized") {
+      UsdEngine engine(init.opinion_counts, ctx.seed);
+      r.stabilized = engine.run_until_stable(budget);
+      r.interactions = engine.interactions();
+      r.parallel_time = engine.time();
+      r.winner = engine.winner();
+    } else {
+      Engine engine = ctx.make_engine(usd, initial);
+      r = run_engine_trial(engine, budget);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    SweepMetrics m = consensus_metrics(r);
+    m.emplace_back("wall_seconds", elapsed.count());
+    return m;
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
+
+  Table table({"engine", "wall_seconds", "attempted", "effective", "clamped",
+               "attempted_per_sec", "effective_per_sec", "stabilized"});
+  for (const SweepCellResult& cr : result.cells) {
+    const double wall = cr.sum("wall_seconds");
+    const double attempted = cr.sum("interactions");
+    const double effective = cr.sum("effective_interactions");
     table.row()
-        .cell(r.engine)
-        .cell(r.wall_seconds, 4)
-        .cell(r.interactions)
-        .cell(r.interactions_per_second, 0)
-        .cell(static_cast<std::int64_t>(r.stabilized))
+        .cell(cr.cell.label())
+        .cell(wall, 4)
+        .cell(attempted, 0)
+        .cell(effective, 0)
+        .cell(cr.sum("clamped"), 0)
+        .cell(wall > 0.0 ? attempted / wall : 0.0, 0)
+        .cell(wall > 0.0 ? effective / wall : 0.0, 0)
+        .cell(cr.rate("stabilized"), 2)
         .done();
   }
   benchutil::tsv_block("throughput", table);
   table.write_pretty(std::cout);
 
+  const double wall_sequential = result.cells[0].sum("wall_seconds");
+  const double wall_specialized = result.cells[1].sum("wall_seconds");
+  const double wall_batched = result.cells[2].sum("wall_seconds");
   const double speedup_vs_sequential =
-      runs[2].wall_seconds > 0.0 ? runs[0].wall_seconds / runs[2].wall_seconds : 0.0;
+      wall_batched > 0.0 ? wall_sequential / wall_batched : 0.0;
   const double speedup_vs_specialized =
-      runs[2].wall_seconds > 0.0 ? runs[1].wall_seconds / runs[2].wall_seconds : 0.0;
+      wall_batched > 0.0 ? wall_specialized / wall_batched : 0.0;
   std::cout << "\nbatched vs sequential  (wall-clock): "
             << format_double(speedup_vs_sequential, 1) << "x\n"
             << "batched vs specialized (wall-clock): "
             << format_double(speedup_vs_specialized, 1) << "x\n";
 
-  if (!json_path.empty()) {
-    std::vector<benchutil::JsonObject> engines;
-    for (const EngineRun& r : runs) {
-      benchutil::JsonObject o;
-      o.field("engine", r.engine)
-          .field("wall_seconds", r.wall_seconds)
-          .field("interactions", r.interactions)
-          .field("interactions_per_second", r.interactions_per_second)
-          .field("stabilized", r.stabilized);
-      engines.push_back(o);
-    }
-    benchutil::JsonObject report;
-    report.field("bench", "throughput")
-        .field("n", n)
-        .field("k", static_cast<std::int64_t>(k))
-        .field("trials", static_cast<std::int64_t>(trials))
-        .field("seed", static_cast<std::int64_t>(seed))
-        .field("round_divisor", round_divisor)
-        .field("engines", engines)
-        .field("speedup_batched_vs_sequential", speedup_vs_sequential)
-        .field("speedup_batched_vs_specialized", speedup_vs_specialized);
-    report.write_file(json_path);
-    std::cout << "json report written to " << json_path << "\n";
-  }
+  benchutil::finish_sweep(result, opts);
   return 0;
 }
 

@@ -7,6 +7,7 @@
 //   ppsim_run --protocol usd-gossip --n 50000 --k 4
 //   ppsim_run --protocol usd --n 100000 --k 8 --series out.tsv
 //   ppsim_run --protocol usd --n 10000000 --k 3 --engine batched
+//   ppsim_run --protocol usd --n 100000 --trials 64 --threads 8
 //
 // Protocols: usd | usd-gossip | three-majority | four-state | averaging |
 //            cancel-duplicate | leader-election | epidemic.
@@ -14,9 +15,13 @@
 // --engine auto | sequential | virtual | batched selects the generic engine
 // (auto keeps each protocol's tuned default; batched trades τ-leaping
 // round granularity for orders of magnitude in wall clock — see README.md).
+// Trials run on the SweepRunner: --threads N fans them out over N workers
+// (0 = hardware) with deterministic per-trial RNG streams, so results are
+// identical at any thread count; --json writes the unified sweep report.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 
@@ -25,8 +30,7 @@
 #include "ppsim/core/engine.hpp"
 #include "ppsim/core/gossip.hpp"
 #include "ppsim/core/recorder.hpp"
-#include "ppsim/core/runner.hpp"
-#include "ppsim/core/simulator.hpp"
+#include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/averaging_majority.hpp"
 #include "ppsim/protocols/cancel_duplicate.hpp"
 #include "ppsim/protocols/epidemic.hpp"
@@ -43,21 +47,64 @@ namespace {
 
 using namespace ppsim;
 
-void print_aggregate(const TrialAggregate& agg) {
-  std::cout << "trials:       " << agg.trials << "\n"
-            << "stabilized:   " << agg.stabilized << " ("
-            << format_double(agg.stabilized_fraction() * 100.0, 1) << "%)\n";
-  if (agg.parallel_time.count() > 0) {
-    std::cout << "parallel time: mean " << format_double(agg.parallel_time.mean(), 2)
-              << ", min " << format_double(agg.parallel_time.min(), 2) << ", max "
-              << format_double(agg.parallel_time.max(), 2) << "\n";
+void print_cell(const SweepCellResult& cr) {
+  const std::size_t trials = cr.trials.size();
+  const auto stabilized = static_cast<std::size_t>(
+      cr.rate("stabilized") * static_cast<double>(trials) + 0.5);
+  std::cout << "trials:       " << trials << "\n"
+            << "stabilized:   " << stabilized << " ("
+            << format_double(cr.rate("stabilized") * 100.0, 1) << "%)\n";
+  if (cr.find("parallel_time") != nullptr && stabilized > 0) {
+    // Stabilized trials only, matching the legacy TrialAggregate semantics
+    // (budget-capped trials would report the budget, not a time).
+    std::cout << "parallel time: mean "
+              << format_double(cr.mean_where("parallel_time", "stabilized"), 2)
+              << ", min "
+              << format_double(cr.min_where("parallel_time", "stabilized"), 2)
+              << ", max "
+              << format_double(cr.max_where("parallel_time", "stabilized"), 2)
+              << "\n";
   }
-  for (const auto& [opinion, wins] : agg.wins) {
-    std::cout << "opinion " << opinion << " won " << wins << "\n";
+  std::map<Opinion, std::size_t> wins;
+  std::size_t no_winner = 0;
+  const std::vector<double> winners = cr.values("winner");
+  const std::vector<double> stab = cr.values("stabilized");
+  for (std::size_t t = 0; t < winners.size(); ++t) {
+    if (winners[t] >= 0.0) {
+      ++wins[static_cast<Opinion>(winners[t])];
+    } else if (t < stab.size() && stab[t] != 0.0) {
+      ++no_winner;
+    }
   }
-  if (agg.no_winner > 0) {
-    std::cout << "no consensus: " << agg.no_winner << "\n";
+  for (const auto& [opinion, count] : wins) {
+    std::cout << "opinion " << opinion << " won " << count << "\n";
   }
+  if (no_winner > 0) {
+    std::cout << "no consensus: " << no_winner << "\n";
+  }
+  const double clamped = cr.sum("clamped");
+  if (clamped > 0) {
+    std::cout << "clamped interactions (batched τ-leaping overdraw): "
+              << static_cast<std::int64_t>(clamped) << " of "
+              << static_cast<std::int64_t>(cr.sum("interactions"))
+              << " attempted\n";
+  }
+}
+
+/// Runs a one-cell sweep over the shared flags and prints the aggregate.
+SweepCellResult run_one_cell(const std::string& name, SweepCell cell,
+                             const SweepCliOptions& opts,
+                             const SweepTrialFn& fn) {
+  SweepSpec spec;
+  spec.name = name;
+  spec.cells.push_back(std::move(cell));
+  spec.trials = opts.trials;
+  spec.base_seed = opts.seed;
+  spec.threads = opts.threads;
+  SweepResult result = SweepRunner(spec).run(fn);
+  result.write_json(opts.json);
+  print_cell(result.cells[0]);
+  return std::move(result.cells[0]);
 }
 
 int run(int argc, char** argv) {
@@ -66,11 +113,10 @@ int run(int argc, char** argv) {
   const Count n = cli.get_int("n", 100'000);
   const auto k = static_cast<std::size_t>(cli.get_int("k", 2));
   const std::string bias_flag = cli.get_string("bias", "auto");
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const std::size_t trials = static_cast<std::size_t>(cli.get_int("trials", 1));
   const double max_parallel = cli.get_double("max-parallel", 100000.0);
   const std::string series_path = cli.get_string("series", "");
   const std::string engine_flag = cli.get_string("engine", "auto");
+  const SweepCliOptions opts = read_sweep_flags(cli, 1, 1, "");
   cli.validate_no_unknown_flags();
 
   std::optional<EngineKind> engine_override;
@@ -85,16 +131,32 @@ int run(int argc, char** argv) {
           ? static_cast<Count>(bounds::whp_bias(n))
           : static_cast<Count>(std::stoll(bias_flag));
   const auto budget = static_cast<Interactions>(max_parallel * static_cast<double>(n));
+  const std::uint64_t seed = opts.seed;
+  const std::size_t trials = opts.trials;
 
   std::cout << "protocol=" << protocol << " n=" << n << " k=" << k << " bias=" << bias
-            << " seed=" << seed << " trials=" << trials << "\n";
+            << " seed=" << seed << " trials=" << trials << " threads="
+            << opts.threads << "\n";
+
+  auto base_cell = [&](EngineKind kind) {
+    SweepCell cell;
+    cell.n = n;
+    cell.k = k;
+    cell.bias = static_cast<double>(bias);
+    cell.protocol = protocol;
+    cell.engine = kind;
+    return cell;
+  };
 
   if (protocol == "usd") {
     const InitialConfig init = adversarial_configuration(n, k, bias);
     // Optional time series from the first trial, produced by the *selected*
     // engine (specialized sequential UsdEngine under --engine auto, the
     // generic facade otherwise) so the series and the aggregate below always
-    // describe the same simulation.
+    // describe the same simulation. The series run reproduces sweep trial 0
+    // by construction: same stream, same engine.
+    const std::uint64_t series_seed =
+        SweepRunner::trial_stream(seed, 0)();  // = trial 0's derived seed
     if (!series_path.empty()) {
       std::ofstream out(series_path);
       PPSIM_CHECK(out.good(), "cannot open series file " + series_path);
@@ -132,7 +194,7 @@ int run(int argc, char** argv) {
         const UndecidedStateDynamics usd(k);
         Engine engine(*engine_override, usd,
                       UndecidedStateDynamics::initial_configuration(init.opinion_counts),
-                      trial_seed(seed, 0));
+                      series_seed);
         engine.run_until(
             [&](const Configuration& c, Interactions i) {
               rec.maybe_sample(c, i);
@@ -148,7 +210,7 @@ int run(int argc, char** argv) {
       } else {
         // The specialized engine exposes O(1) observables; read them
         // directly instead of snapshotting a Configuration per interaction.
-        UsdEngine engine(init.opinion_counts, trial_seed(seed, 0));
+        UsdEngine engine(init.opinion_counts, series_seed);
         out << "parallel_time\tundecided\tmajority\tdelta_max\tsurvivors\n";
         Interactions next = 0;
         while (!engine.stabilized() && engine.interactions() < budget) {
@@ -169,28 +231,24 @@ int run(int argc, char** argv) {
       const UndecidedStateDynamics usd(k);
       const Configuration initial =
           UndecidedStateDynamics::initial_configuration(init.opinion_counts);
-      auto trial = [&](std::uint64_t s, std::size_t) {
-        Engine engine(*engine_override, usd, initial, s);
-        const RunOutcome out = engine.run_until_stable(budget);
-        TrialResult r;
-        r.stabilized = out.stabilized;
-        r.parallel_time = engine.parallel_time();
-        r.winner = out.consensus;
-        return r;
-      };
-      print_aggregate(aggregate(run_trials(trial, trials, seed, 0)));
+      run_one_cell("ppsim_run", base_cell(*engine_override), opts,
+                   [&](const SweepTrial& ctx) {
+                     Engine engine(ctx.cell.engine, usd, initial, ctx.seed);
+                     return consensus_metrics(run_engine_trial(engine, budget));
+                   });
       return 0;
     }
-    auto trial = [&](std::uint64_t s, std::size_t) {
-      UsdEngine engine(init.opinion_counts, s);
-      engine.run_until_stable(budget);
-      TrialResult r;
-      r.stabilized = engine.stabilized();
-      r.parallel_time = engine.time();
-      r.winner = engine.winner();
-      return r;
-    };
-    print_aggregate(aggregate(run_trials(trial, trials, seed, 0)));
+    run_one_cell("ppsim_run", base_cell(EngineKind::kSequential), opts,
+                 [&](const SweepTrial& ctx) {
+                   UsdEngine engine(init.opinion_counts, ctx.seed);
+                   engine.run_until_stable(budget);
+                   TrialResult r;
+                   r.stabilized = engine.stabilized();
+                   r.interactions = engine.interactions();
+                   r.parallel_time = engine.time();
+                   r.winner = engine.winner();
+                   return consensus_metrics(r);
+                 });
     return 0;
   }
 
@@ -205,34 +263,35 @@ int run(int argc, char** argv) {
   if (protocol == "usd-gossip") {
     const UsdGossipRule rule(k);
     const InitialConfig init = adversarial_configuration(n, k, bias);
-    RunningStats rounds;
-    std::size_t stabilized = 0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      GossipEngine engine(rule, rule.initial(init.opinion_counts), trial_seed(seed, t));
-      const GossipOutcome out = engine.run_until_stable(1'000'000);
-      if (out.stabilized) {
-        ++stabilized;
-        rounds.add(static_cast<double>(out.rounds));
-      }
-    }
-    std::cout << "stabilized " << stabilized << "/" << trials << ", mean rounds "
-              << format_double(rounds.mean(), 1) << "\n";
+    const SweepCellResult cr = run_one_cell(
+        "ppsim_run", base_cell(EngineKind::kSequential), opts,
+        [&](const SweepTrial& ctx) -> SweepMetrics {
+          GossipEngine engine(rule, rule.initial(init.opinion_counts), ctx.seed);
+          const GossipOutcome out = engine.run_until_stable(1'000'000);
+          SweepMetrics m = {{"stabilized", out.stabilized ? 1.0 : 0.0}};
+          if (out.stabilized) {
+            m.emplace_back("rounds", static_cast<double>(out.rounds));
+          }
+          return m;
+        });
+    std::cout << "mean rounds " << format_double(cr.mean("rounds"), 1) << "\n";
     return 0;
   }
 
   if (protocol == "three-majority") {
     const InitialConfig init = adversarial_configuration(n, k, bias);
-    RunningStats rounds;
-    std::size_t consensus = 0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      ThreeMajorityEngine engine(init.opinion_counts, trial_seed(seed, t));
-      if (engine.run_until_consensus(1'000'000)) {
-        ++consensus;
-        rounds.add(static_cast<double>(engine.rounds()));
-      }
-    }
-    std::cout << "consensus " << consensus << "/" << trials << ", mean rounds "
-              << format_double(rounds.mean(), 1) << "\n";
+    const SweepCellResult cr = run_one_cell(
+        "ppsim_run", base_cell(EngineKind::kSequential), opts,
+        [&](const SweepTrial& ctx) -> SweepMetrics {
+          ThreeMajorityEngine engine(init.opinion_counts, ctx.seed);
+          const bool consensus = engine.run_until_consensus(1'000'000);
+          SweepMetrics m = {{"stabilized", consensus ? 1.0 : 0.0}};
+          if (consensus) {
+            m.emplace_back("rounds", static_cast<double>(engine.rounds()));
+          }
+          return m;
+        });
+    std::cout << "mean rounds " << format_double(cr.mean("rounds"), 1) << "\n";
     return 0;
   }
 
@@ -241,16 +300,10 @@ int run(int argc, char** argv) {
   auto run_generic = [&](const Protocol& p, Configuration initial,
                          EngineKind default_kind) {
     const EngineKind kind = engine_override.value_or(default_kind);
-    auto trial = [&](std::uint64_t s, std::size_t) {
-      Engine sim(kind, p, initial, s);
-      const RunOutcome out = sim.run_until_stable(budget);
-      TrialResult r;
-      r.stabilized = out.stabilized;
-      r.parallel_time = sim.parallel_time();
-      r.winner = out.consensus;
-      return r;
-    };
-    print_aggregate(aggregate(run_trials(trial, trials, seed, 0)));
+    run_one_cell("ppsim_run", base_cell(kind), opts, [&](const SweepTrial& ctx) {
+      Engine sim = ctx.make_engine(p, initial);
+      return consensus_metrics(run_engine_trial(sim, budget));
+    });
   };
 
   const Count a = (n + bias) / 2;

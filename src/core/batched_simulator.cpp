@@ -129,6 +129,9 @@ RunOutcome BatchedSimulator::outcome() const {
   RunOutcome out;
   out.stabilized = is_stable();
   out.interactions = interactions_;
+  // interactions_ is credited with the whole batch before clamping, so the
+  // clamped share must ride along or throughput reports double-count it.
+  out.clamped = clamped_;
   out.consensus = consensus_output();
   return out;
 }

@@ -23,7 +23,13 @@ std::variant<Simulator, BatchedSimulator> make_impl(
           std::in_place_type<BatchedSimulator>, protocol, std::move(initial), seed,
           batched_options);
   }
-  PPSIM_CHECK(false, "unknown engine kind");
+  // Reachable only through a forged enum value (e.g. a bad static_cast from
+  // an untrusted flag): fail loudly instead of falling off a value-returning
+  // function. check_failed is [[noreturn]], which PPSIM_CHECK's conditional
+  // hides from flow analysis.
+  detail::check_failed("kind is a valid EngineKind", __FILE__, __LINE__,
+                       "unknown engine kind " +
+                           std::to_string(static_cast<int>(kind)));
 }
 
 }  // namespace
@@ -56,6 +62,18 @@ const Configuration& Engine::configuration() const {
 
 Interactions Engine::interactions() const {
   return std::visit([](const auto& e) { return e.interactions(); }, impl_);
+}
+
+Interactions Engine::clamped_interactions() const {
+  return std::visit(
+      [](const auto& e) -> Interactions {
+        if constexpr (requires { e.clamped_interactions(); }) {
+          return e.clamped_interactions();
+        } else {
+          return 0;  // exact sequential engines never clamp
+        }
+      },
+      impl_);
 }
 
 double Engine::parallel_time() const {

@@ -25,13 +25,15 @@ bool UsdFaultInjector::maybe_corrupt(UsdEngine& engine) {
     }
     victim_index -= counts[s];
   }
-  const auto to = static_cast<State>(rng_.bounded(counts.size()));
-  if (to != from) {
-    engine.corrupt_agent(from, to);
-    ++corruptions_;
-    return true;
-  }
-  return false;
+  // Sample the target uniformly from the *other* num_states - 1 states, so
+  // every fired Bernoulli corrupts exactly one agent. (Sampling over all
+  // k+1 states and dropping to == from would silently shrink the effective
+  // corruption rate to rate * k/(k+1).)
+  auto to = static_cast<State>(rng_.bounded(counts.size() - 1));
+  if (to >= from) ++to;
+  engine.corrupt_agent(from, to);
+  ++corruptions_;
+  return true;
 }
 
 void UsdFaultInjector::run(UsdEngine& engine, Interactions interactions) {

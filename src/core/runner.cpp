@@ -9,6 +9,17 @@
 
 namespace ppsim {
 
+TrialResult run_engine_trial(Engine& engine, Interactions max_interactions) {
+  const RunOutcome out = engine.run_until_stable(max_interactions);
+  TrialResult r;
+  r.stabilized = out.stabilized;
+  r.interactions = out.interactions;
+  r.clamped = out.clamped;
+  r.parallel_time = engine.parallel_time();
+  r.winner = out.consensus;
+  return r;
+}
+
 std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t trial) {
   // SplitMix64 is an injective mixing of the counter, so distinct trials get
   // distinct, well-scrambled seeds from one base seed.

@@ -1,0 +1,297 @@
+#include "ppsim/core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/json.hpp"
+
+namespace ppsim {
+
+double SweepCell::param(const std::string& key, double fallback) const {
+  for (const auto& [name_, value] : params) {
+    if (name_ == key) return value;
+  }
+  return fallback;
+}
+
+std::string SweepCell::label() const {
+  if (!name.empty()) return name;
+  return "n=" + std::to_string(n) + ",k=" + std::to_string(k);
+}
+
+Engine SweepTrial::make_engine(const Protocol& protocol,
+                               Configuration initial) const {
+  // Each engine built by this trial draws its own scalar seed from the
+  // trial's private stream, so a trial comparing several engines (e.g.
+  // bench_gossip_compare) seeds them from disjoint draws deterministically.
+  return Engine(cell.engine, protocol, std::move(initial), rng(),
+                {.round_divisor = cell.round_divisor});
+}
+
+const SweepMetricAggregate* SweepCellResult::find(const std::string& metric) const {
+  for (const auto& agg : aggregates) {
+    if (agg.metric == metric) return &agg;
+  }
+  return nullptr;
+}
+
+std::vector<double> SweepCellResult::values(const std::string& metric) const {
+  const SweepMetricAggregate* agg = find(metric);
+  return agg == nullptr ? std::vector<double>{} : agg->values;
+}
+
+double SweepCellResult::mean(const std::string& metric, double fallback) const {
+  const SweepMetricAggregate* agg = find(metric);
+  return agg == nullptr || agg->summary.count == 0 ? fallback : agg->summary.mean;
+}
+
+double SweepCellResult::sum(const std::string& metric) const {
+  double total = 0.0;
+  for (const double v : values(metric)) total += v;
+  return total;
+}
+
+double SweepCellResult::min(const std::string& metric, double fallback) const {
+  const SweepMetricAggregate* agg = find(metric);
+  return agg == nullptr || agg->summary.count == 0 ? fallback : agg->summary.min;
+}
+
+double SweepCellResult::max(const std::string& metric, double fallback) const {
+  const SweepMetricAggregate* agg = find(metric);
+  return agg == nullptr || agg->summary.count == 0 ? fallback : agg->summary.max;
+}
+
+std::vector<double> SweepCellResult::values_where(const std::string& value,
+                                                  const std::string& flag) const {
+  std::vector<double> selected;
+  for (const SweepMetrics& trial : trials) {
+    bool flagged = false;
+    std::optional<double> v;
+    for (const auto& [metric, x] : trial) {
+      if (metric == flag && x != 0.0) flagged = true;
+      if (metric == value) v = x;
+    }
+    if (flagged && v.has_value()) selected.push_back(*v);
+  }
+  return selected;
+}
+
+double SweepCellResult::mean_where(const std::string& value, const std::string& flag,
+                                   double fallback) const {
+  const std::vector<double> selected = values_where(value, flag);
+  if (selected.empty()) return fallback;
+  double total = 0.0;
+  for (const double v : selected) total += v;
+  return total / static_cast<double>(selected.size());
+}
+
+double SweepCellResult::min_where(const std::string& value, const std::string& flag,
+                                  double fallback) const {
+  const std::vector<double> selected = values_where(value, flag);
+  return selected.empty() ? fallback
+                          : *std::min_element(selected.begin(), selected.end());
+}
+
+double SweepCellResult::max_where(const std::string& value, const std::string& flag,
+                                  double fallback) const {
+  const std::vector<double> selected = values_where(value, flag);
+  return selected.empty() ? fallback
+                          : *std::max_element(selected.begin(), selected.end());
+}
+
+double SweepCellResult::rate(const std::string& flag) const {
+  if (trials.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const SweepMetrics& trial : trials) {
+    for (const auto& [metric, x] : trial) {
+      if (metric == flag && x != 0.0) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials.size());
+}
+
+std::string SweepResult::to_json() const {
+  std::vector<JsonObject> cell_objects;
+  cell_objects.reserve(cells.size());
+  for (const SweepCellResult& cr : cells) {
+    JsonObject params;
+    for (const auto& [key, value] : cr.cell.params) params.field(key, value);
+    std::vector<JsonObject> metric_objects;
+    metric_objects.reserve(cr.aggregates.size());
+    for (const SweepMetricAggregate& agg : cr.aggregates) {
+      JsonObject m;
+      m.field("metric", agg.metric)
+          .field("count", agg.summary.count)
+          .field("mean", agg.summary.mean)
+          .field("stddev", agg.summary.stddev)
+          .field("min", agg.summary.min)
+          .field("p25", agg.summary.p25)
+          .field("median", agg.summary.median)
+          .field("p75", agg.summary.p75)
+          .field("max", agg.summary.max)
+          .field("values", agg.values);
+      metric_objects.push_back(m);
+    }
+    JsonObject c;
+    c.field("cell", cr.cell.label())
+        .field("n", cr.cell.n)
+        .field("k", static_cast<std::int64_t>(cr.cell.k))
+        .field("bias", cr.cell.bias)
+        .field("engine", to_string(cr.cell.engine))
+        .field("protocol", cr.cell.protocol)
+        .field("round_divisor", cr.cell.round_divisor)
+        .field("params", params)
+        .field("metrics", metric_objects);
+    cell_objects.push_back(c);
+  }
+  JsonObject report;
+  report.field("sweep", name)
+      .field("trials_per_cell", static_cast<std::int64_t>(trials))
+      .field("base_seed", static_cast<std::int64_t>(base_seed))
+      .field("seeding", "xoshiro256pp stream(cell * trials + trial)")
+      .field("cells", cell_objects);
+  return report.str();
+}
+
+void SweepResult::write_json(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  PPSIM_CHECK(out.good(), "cannot open json output file " + path);
+  out << to_json() << "\n";
+}
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+  PPSIM_CHECK(!spec_.name.empty(), "sweep spec must be named");
+  PPSIM_CHECK(spec_.trials > 0, "sweep needs at least one trial per cell");
+}
+
+SweepResult SweepRunner::run(const SweepTrialFn& fn) const {
+  PPSIM_CHECK(static_cast<bool>(fn), "sweep trial function must be callable");
+  const std::size_t num_cells = spec_.cells.size();
+  const std::size_t trials = spec_.trials;
+  const std::size_t total = num_cells * trials;
+
+  SweepResult result;
+  result.name = spec_.name;
+  result.trials = trials;
+  result.base_seed = spec_.base_seed;
+  result.cells.resize(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    result.cells[c].cell = spec_.cells[c];
+    result.cells[c].cell_index = c;
+    result.cells[c].trials.resize(trials);
+  }
+
+  unsigned threads =
+      spec_.threads == 0 ? std::thread::hardware_concurrency() : spec_.threads;
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, static_cast<unsigned>(std::min<std::size_t>(
+                                          total, 1u << 16))));
+  result.threads = threads;
+  if (total == 0) return result;
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // One work item per (cell, trial); items are claimed dynamically but each
+  // writes only its own slot, so the result is scheduling-independent.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
+      if (item >= total) return;
+      const std::size_t c = item / trials;
+      const std::size_t t = item % trials;
+      try {
+        const std::uint64_t index = stream_index(c, trials, t);
+        Xoshiro256pp rng = trial_stream(spec_.base_seed, index);
+        const std::uint64_t seed = rng();
+        const SweepTrial ctx{spec_.cells[c], c, t, index, seed, rng};
+        result.cells[c].trials[t] = fn(ctx);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(total, std::memory_order_relaxed);  // drain the queue
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    pool.clear();  // joins
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Aggregate sequentially (cheap relative to the trials, and sequential
+  // aggregation keeps metric order = first-occurrence order deterministic).
+  for (SweepCellResult& cr : result.cells) {
+    std::vector<std::string> order;
+    for (const SweepMetrics& trial : cr.trials) {
+      for (const auto& [metric, value] : trial) {
+        (void)value;
+        if (std::find(order.begin(), order.end(), metric) == order.end()) {
+          order.push_back(metric);
+        }
+      }
+    }
+    for (const std::string& metric : order) {
+      SweepMetricAggregate agg;
+      agg.metric = metric;
+      for (const SweepMetrics& trial : cr.trials) {
+        for (const auto& [name_, value] : trial) {
+          if (name_ == metric) agg.values.push_back(value);
+        }
+      }
+      agg.summary = summarize(agg.values);
+      cr.aggregates.push_back(std::move(agg));
+    }
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.wall_seconds = elapsed.count();
+  return result;
+}
+
+SweepMetrics consensus_metrics(const TrialResult& r) {
+  return {
+      {"stabilized", r.stabilized ? 1.0 : 0.0},
+      {"parallel_time", r.parallel_time},
+      {"interactions", static_cast<double>(r.interactions)},
+      {"clamped", static_cast<double>(r.clamped)},
+      {"effective_interactions", static_cast<double>(r.interactions - r.clamped)},
+      {"winner", r.winner.has_value() ? static_cast<double>(*r.winner) : -1.0},
+      {"majority_win", r.winner.has_value() && *r.winner == 0 ? 1.0 : 0.0},
+  };
+}
+
+SweepCliOptions read_sweep_flags(Cli& cli, std::size_t default_trials,
+                                 std::uint64_t default_seed,
+                                 const std::string& default_json) {
+  SweepCliOptions opts;
+  opts.trials = static_cast<std::size_t>(
+      cli.get_int("trials", static_cast<std::int64_t>(default_trials)));
+  opts.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(default_seed)));
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  opts.json = cli.get_string("json", default_json);
+  PPSIM_CHECK(opts.trials > 0, "--trials must be positive");
+  return opts;
+}
+
+}  // namespace ppsim

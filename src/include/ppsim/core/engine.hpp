@@ -44,6 +44,9 @@ class Engine {
   EngineKind kind() const noexcept { return kind_; }
   const Configuration& configuration() const;
   Interactions interactions() const;
+  /// Attempted-but-unrealised interactions (τ-leaping overdraw); 0 for the
+  /// exact sequential engines. See RunOutcome::clamped.
+  Interactions clamped_interactions() const;
   double parallel_time() const;
 
   RunOutcome run_until_stable(Interactions max_interactions);

@@ -7,8 +7,11 @@
 // be measured (bench_fault_tolerance):
 //
 //   * transient corruption: at rate `rate` per interaction, one uniformly
-//     random agent's state is replaced by a uniformly random state
-//     (opinion or ⊥). This models bit-flips / sensing glitches.
+//     random agent's state is replaced by a uniformly random *different*
+//     state (opinion or ⊥). This models bit-flips / sensing glitches. Every
+//     fired Bernoulli moves exactly one agent, so the realised corruption
+//     count concentrates around rate · interactions (faults_test pins the
+//     target-state distribution with a chi-square test).
 //
 // Two facts worth measuring (and tested in faults_test.cpp):
 //   * under any positive corruption rate, USD never formally stabilizes
@@ -41,7 +44,8 @@ class UsdFaultInjector {
   Interactions corruptions() const noexcept { return corruptions_; }
 
   /// Possibly corrupts one agent of the engine (call once per interaction).
-  /// Returns true iff a corruption was injected.
+  /// Returns true iff a corruption was injected, i.e. iff the Bernoulli(rate)
+  /// draw fired — a fired draw always moves an agent.
   bool maybe_corrupt(UsdEngine& engine);
 
   /// Runs the engine for exactly `interactions` interactions with fault

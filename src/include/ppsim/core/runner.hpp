@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "ppsim/core/engine.hpp"
 #include "ppsim/core/types.hpp"
 #include "ppsim/util/stats.hpp"
 
@@ -21,10 +22,16 @@ namespace ppsim {
 /// Outcome of one Monte-Carlo trial of a consensus experiment.
 struct TrialResult {
   bool stabilized = false;
-  Interactions interactions = 0;
+  Interactions interactions = 0;   ///< attempted interactions
+  Interactions clamped = 0;        ///< τ-leaping overdraw (see RunOutcome)
   double parallel_time = 0.0;
   std::optional<Opinion> winner;
 };
+
+/// Runs `engine` to stabilization (or budget) and packages the outcome —
+/// the glue letting any EngineKind be driven from a sweep cell or a legacy
+/// trial loop with identical accounting (attempted vs clamped interactions).
+TrialResult run_engine_trial(Engine& engine, Interactions max_interactions);
 
 using TrialFn = std::function<TrialResult(std::uint64_t seed, std::size_t trial)>;
 

@@ -1,0 +1,204 @@
+// Declarative parameter-sweep harness: the scaling substrate for every
+// experiment in this repo.
+//
+// Validating the paper's lower bound empirically means sweeping (n, k, bias,
+// engine, protocol) over many independent trials. Before this subsystem each
+// of the 15 bench binaries hand-rolled its own single-threaded trial loop
+// and its own JSON emit code; now a bench is a SweepSpec (the grid) plus a
+// trial lambda (one cell, one RNG stream -> named scalar metrics), and the
+// runner owns everything repeatable:
+//
+//   * a fixed-size thread pool fanning (cell, trial) work items out over
+//     --threads workers;
+//   * deterministic per-trial randomness: trial (c, t) always draws from
+//     Xoshiro256pp(base_seed).stream(c * trials + t), an O(1) jump-stream
+//     derivation, so results are bitwise identical at any thread count;
+//   * per-cell aggregation (count/mean/stddev/min/quantiles/max via
+//     util/stats summarize());
+//   * one unified JSON reporter (SweepResult::to_json) replacing the ad-hoc
+//     per-bench emit code — reports from --threads 1 and --threads N are
+//     byte-identical (wall-clock time is deliberately kept out of the JSON).
+//
+// Trial lambdas must be thread-compatible: read-only on shared captures,
+// writes confined to the returned metrics (the runner stores them in
+// per-trial slots, so no locking is needed downstream).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ppsim/core/engine.hpp"
+#include "ppsim/core/runner.hpp"
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/rng.hpp"
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+
+/// One grid point of a sweep: the canonical axes the paper's experiments
+/// vary (n, k, bias, engine, protocol) plus free-form named scalars for
+/// bench-specific knobs (corruption rate, walk drift, ...). Cells are plain
+/// data — the trial lambda interprets them.
+struct SweepCell {
+  Count n = 0;
+  std::size_t k = 0;
+  double bias = 0.0;
+  EngineKind engine = EngineKind::kSequential;
+  std::string protocol = "usd";
+  Interactions round_divisor = 16;  ///< batched engine granularity
+  /// Bench-specific scalar knobs, carried into the report verbatim.
+  std::vector<std::pair<std::string, double>> params;
+  /// Row label for tables/reports; label() falls back to "n=..,k=..".
+  std::string name;
+
+  double param(const std::string& key, double fallback) const;
+  std::string label() const;
+};
+
+/// The declarative sweep: grid x trial count x seeding x parallelism.
+struct SweepSpec {
+  std::string name;               ///< bench/experiment name (report header)
+  std::vector<SweepCell> cells;
+  std::size_t trials = 1;         ///< trials per cell
+  std::uint64_t base_seed = 42;
+  unsigned threads = 1;           ///< worker count; 0 = hardware concurrency
+};
+
+/// Everything one trial may depend on. `rng` is the trial's private jump
+/// stream; `seed` is a scalar drawn from it for engines that expand their
+/// own seed (UsdEngine, GossipEngine, ...). Using both is fine — the stream
+/// is private to this (cell, trial) pair.
+struct SweepTrial {
+  const SweepCell& cell;
+  std::size_t cell_index;
+  std::size_t trial;           ///< trial index within the cell
+  std::uint64_t stream_index;  ///< cell_index * spec.trials + trial
+  std::uint64_t seed;
+  Xoshiro256pp& rng;
+
+  /// Builds the engine the cell names (kind + round_divisor) over `initial`,
+  /// seeded from this trial's stream — any EngineKind can be driven from a
+  /// sweep cell. The protocol must outlive the engine.
+  Engine make_engine(const Protocol& protocol, Configuration initial) const;
+};
+
+/// Named scalar observables produced by one trial. Insertion order is
+/// preserved into the aggregation and the report; a metric may be omitted
+/// by some trials (e.g. "recovery_time" only when recovered) — aggregates
+/// then cover the trials that reported it.
+using SweepMetrics = std::vector<std::pair<std::string, double>>;
+
+using SweepTrialFn = std::function<SweepMetrics(const SweepTrial&)>;
+
+/// Per-cell aggregate of one metric (Summary: count, mean, stddev, min,
+/// p25, median, p75, max) plus the raw per-trial values in trial order.
+struct SweepMetricAggregate {
+  std::string metric;
+  Summary summary;
+  std::vector<double> values;
+};
+
+struct SweepCellResult {
+  SweepCell cell;
+  std::size_t cell_index = 0;
+  std::vector<SweepMetrics> trials;  ///< per-trial metrics, trial order
+  std::vector<SweepMetricAggregate> aggregates;
+
+  const SweepMetricAggregate* find(const std::string& metric) const;
+  /// Per-trial values of `metric`, in trial order (empty if never reported).
+  std::vector<double> values(const std::string& metric) const;
+  /// Mean of `metric` over the trials that reported it; `fallback` if none.
+  double mean(const std::string& metric, double fallback = 0.0) const;
+  /// Sum / min / max over the trials that reported the metric.
+  double sum(const std::string& metric) const;
+  double min(const std::string& metric, double fallback = 0.0) const;
+  double max(const std::string& metric, double fallback = 0.0) const;
+  /// Per-trial values of metric `value` over trials where metric `flag` is
+  /// nonzero (e.g. parallel time over stabilized trials only — budget-capped
+  /// trials would otherwise smuggle the budget into time statistics).
+  std::vector<double> values_where(const std::string& value,
+                                   const std::string& flag) const;
+  /// Mean of metric `value` over trials where metric `flag` is nonzero.
+  double mean_where(const std::string& value, const std::string& flag,
+                    double fallback = 0.0) const;
+  /// Min / max of metric `value` over trials where metric `flag` is nonzero.
+  double min_where(const std::string& value, const std::string& flag,
+                   double fallback = 0.0) const;
+  double max_where(const std::string& value, const std::string& flag,
+                   double fallback = 0.0) const;
+  /// Fraction of trials whose `flag` metric is nonzero (0 if no trials).
+  double rate(const std::string& flag) const;
+};
+
+struct SweepResult {
+  std::string name;
+  std::size_t trials = 0;
+  std::uint64_t base_seed = 0;
+  unsigned threads = 1;  ///< resolved worker count actually used
+  std::vector<SweepCellResult> cells;
+  double wall_seconds = 0.0;  ///< whole-sweep wall clock (not in the JSON)
+
+  /// Unified report: spec header, then one entry per cell with the cell's
+  /// axes/params, per-metric aggregates and raw per-trial values. Does NOT
+  /// include wall_seconds or threads — two runs of the same spec at
+  /// different thread counts must serialize byte-identically.
+  std::string to_json() const;
+  /// Writes to_json() (plus trailing newline) to `path`; empty path = no-op.
+  void write_json(const std::string& path) const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepSpec spec);
+
+  const SweepSpec& spec() const noexcept { return spec_; }
+
+  /// The jump-stream index feeding (cell, trial) — the documented seeding
+  /// scheme: base seed -> stream index = cell * trials_per_cell + trial.
+  static std::uint64_t stream_index(std::size_t cell_index,
+                                    std::size_t trials_per_cell,
+                                    std::size_t trial) noexcept {
+    return static_cast<std::uint64_t>(cell_index) * trials_per_cell + trial;
+  }
+
+  /// The generator driving stream `index` of `base_seed` (exposed so a
+  /// single recorded trial can be reproduced outside a sweep).
+  static Xoshiro256pp trial_stream(std::uint64_t base_seed, std::uint64_t index) {
+    return Xoshiro256pp(base_seed).stream(index);
+  }
+
+  /// Runs trials x cells over the pool and aggregates. Work items are
+  /// claimed dynamically but write only their own result slot, so the
+  /// outcome is independent of scheduling.
+  SweepResult run(const SweepTrialFn& fn) const;
+
+ private:
+  SweepSpec spec_;
+};
+
+/// The shared sweep-facing CLI surface, so every bench spells the common
+/// flags identically: --trials, --seed, --threads (0 = hardware), --json
+/// (unified report path; empty disables).
+struct SweepCliOptions {
+  std::size_t trials = 1;
+  std::uint64_t seed = 42;
+  unsigned threads = 1;
+  std::string json;
+};
+
+SweepCliOptions read_sweep_flags(Cli& cli, std::size_t default_trials,
+                                 std::uint64_t default_seed,
+                                 const std::string& default_json);
+
+/// Standard metric block for consensus trials, so every bench reports the
+/// same names: stabilized (0/1), parallel_time, interactions (attempted),
+/// clamped, effective_interactions, winner (opinion index, -1 = none) and
+/// majority_win (winner == 0).
+SweepMetrics consensus_metrics(const TrialResult& r);
+
+}  // namespace ppsim

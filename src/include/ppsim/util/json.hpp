@@ -1,0 +1,49 @@
+// Minimal JSON writer shared by the sweep reporter and the bench binaries.
+//
+// Promoted from bench_common.hpp so library code (core/sweep.cpp) can emit
+// the unified sweep report without depending on bench scaffolding. The
+// surface is deliberately tiny — an insertion-ordered object builder with
+// eagerly rendered values — because every report in this repo is a flat
+// tree of numbers, strings and arrays, and insertion order is what makes
+// two reports byte-comparable (the sweep determinism test diffs raw bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppsim {
+
+/// JSON object/array builder (numbers, strings, booleans, nested objects and
+/// arrays), no external dependency. Values are rendered eagerly in insertion
+/// order; doubles use 12 significant digits so equal doubles render equally.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value);
+  JsonObject& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonObject& field(const std::string& key, std::int64_t value);
+  JsonObject& field(const std::string& key, double value);
+  JsonObject& field(const std::string& key, bool value);
+  JsonObject& field(const std::string& key, const JsonObject& value);
+  JsonObject& field(const std::string& key, const std::vector<JsonObject>& items);
+  JsonObject& field(const std::string& key, const std::vector<double>& items);
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+  /// Writes the object (one line) to `path`; throws CheckFailure on IO error.
+  void write_file(const std::string& path) const;
+
+  /// RFC 8259 string escaping (exposed for the reporter's array rendering).
+  static std::string escape(const std::string& s);
+  /// The number rendering used by double fields (12 significant digits).
+  static std::string render_double(double v);
+
+ private:
+  JsonObject& raw(const std::string& key, const std::string& rendered);
+
+  std::string body_;
+};
+
+}  // namespace ppsim

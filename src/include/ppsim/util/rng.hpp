@@ -71,8 +71,17 @@ class Xoshiro256pp {
   /// original — the basis for deterministic parallel trials.
   void jump() noexcept;
 
-  /// Convenience: an independent stream for trial `index` derived from this
-  /// generator's current state (jump() applied `index + 1` times).
+  /// Advances the state by 2^192 draws (the xoshiro256 "long jump"): 2^64
+  /// jump()-sized blocks in one O(1) call. Used by stream() so per-trial
+  /// stream derivation does not degrade to O(index) chained jumps.
+  void long_jump() noexcept;
+
+  /// An independent stream for trial `index`, derived in O(1) regardless of
+  /// the index: the index is folded into the 256-bit state through SplitMix64
+  /// (distinct indices give distinct states by construction) and the result
+  /// advanced by one long_jump(). This is the per-trial seeding primitive of
+  /// the sweep harness: stream indices are cell * trials + trial, so every
+  /// (cell, trial) pair maps to the same generator at any thread count.
   Xoshiro256pp stream(std::uint64_t index) const noexcept;
 
   /// Unbiased uniform integer in [0, bound) via Lemire's method.

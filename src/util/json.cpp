@@ -1,0 +1,93 @@
+#include "ppsim/util/json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+std::string JsonObject::escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // RFC 8259: all other control characters need \u00XX form.
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonObject::render_double(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+JsonObject& JsonObject::field(const std::string& key, const std::string& value) {
+  return raw(key, '"' + escape(value) + '"');
+}
+
+JsonObject& JsonObject::field(const std::string& key, std::int64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, double value) {
+  return raw(key, render_double(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::field(const std::string& key, const JsonObject& value) {
+  return raw(key, value.str());
+}
+
+JsonObject& JsonObject::field(const std::string& key,
+                              const std::vector<JsonObject>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].str();
+  }
+  return raw(key, out + "]");
+}
+
+JsonObject& JsonObject::field(const std::string& key,
+                              const std::vector<double>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += render_double(items[i]);
+  }
+  return raw(key, out + "]");
+}
+
+void JsonObject::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  PPSIM_CHECK(out.good(), "cannot open json output file " + path);
+  out << str() << "\n";
+}
+
+JsonObject& JsonObject::raw(const std::string& key, const std::string& rendered) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += '"' + escape(key) + "\": " + rendered;
+  return *this;
+}
+
+}  // namespace ppsim

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <vector>
 
 #include "ppsim/util/check.hpp"
+#include "ppsim/util/stats.hpp"
 
 namespace ppsim {
 namespace {
@@ -48,12 +50,50 @@ TEST(FaultInjectorTest, ZeroRateNeverCorrupts) {
 }
 
 TEST(FaultInjectorTest, RateControlsCorruptionFrequency) {
+  // Every fired Bernoulli(0.1) now corrupts (the pre-fix injector dropped
+  // draws whose resampled target equalled the victim's state, deflating the
+  // effective rate to rate * k/(k+1) ≈ 2/3 · rate here). Expect ~2000 ± 4σ,
+  // σ = sqrt(20000 · 0.1 · 0.9) ≈ 42.
   UsdFaultInjector injector(0.1, 5);
   UsdEngine engine({500, 500}, 7);
   injector.run(engine, 20000);
-  // ~2000 corruption draws; (k+1-1)/(k+1) = 2/3 of draws move the agent.
-  EXPECT_GT(injector.corruptions(), 1000);
-  EXPECT_LT(injector.corruptions(), 1800);
+  EXPECT_GT(injector.corruptions(), 2000 - 4 * 42);
+  EXPECT_LT(injector.corruptions(), 2000 + 4 * 42);
+}
+
+TEST(FaultInjectorTest, CorruptionTargetsAreUniformChiSquare) {
+  // With every state equally populated the victim is uniform over the k+1
+  // states, and the fixed target resampling is uniform over the other k, so
+  // the post-corruption (target) state distribution must be uniform over all
+  // k+1 states. The pre-fix injector hit this distribution too, but at a
+  // deflated rate — the companion test above pins the rate; this one pins
+  // the shape. Counts are diffed around each injection to observe the
+  // target; large equal counts keep the victim distribution ~uniform for
+  // the whole run.
+  const std::size_t k = 3;  // 4 USD states: ⊥ + 3 opinions
+  UsdEngine engine({100000, 100000, 100000}, 100000, 99);
+  UsdFaultInjector injector(1.0, 17);
+  constexpr int kEvents = 40000;
+  std::vector<std::int64_t> observed(k + 1, 0);
+  for (int i = 0; i < kEvents; ++i) {
+    const std::vector<Count> before = engine.counts();
+    ASSERT_TRUE(injector.maybe_corrupt(engine));
+    int gained = -1;
+    for (std::size_t s = 0; s <= k; ++s) {
+      if (engine.counts()[s] == before[s] + 1) gained = static_cast<int>(s);
+    }
+    ASSERT_GE(gained, 0) << "a fired corruption must move an agent";
+    ++observed[static_cast<std::size_t>(gained)];
+  }
+  EXPECT_EQ(injector.corruptions(), kEvents);
+  const std::vector<double> expected(k + 1,
+                                     static_cast<double>(kEvents) / (k + 1));
+  const double stat = chi_square_statistic(observed, expected);
+  const double p = chi_square_sf(stat, static_cast<int>(k));
+  // A correct injector fails this with probability < 1e-6; the pre-fix
+  // injector (target sampled over all k+1 states, equal-state draws
+  // dropped) passes the shape but fails the rate test above.
+  EXPECT_GT(p, 1e-6) << "chi-square statistic " << stat;
 }
 
 TEST(FaultInjectorTest, FaultStreamIsReproducible) {

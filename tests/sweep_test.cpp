@@ -1,0 +1,264 @@
+// SweepRunner: thread-count-invariant determinism (byte-identical JSON),
+// the documented seeding scheme (base seed -> stream index = cell * trials
+// + trial), per-cell aggregation, cell-driven engine construction and error
+// propagation.
+#include "ppsim/core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+SweepSpec small_usd_spec(unsigned threads) {
+  SweepSpec spec;
+  spec.name = "sweep_test";
+  spec.trials = 6;
+  spec.base_seed = 99;
+  spec.threads = threads;
+  for (const Count n : {60, 100}) {
+    for (const std::size_t k : {2, 3}) {
+      SweepCell cell;
+      cell.n = n;
+      cell.k = k;
+      spec.cells.push_back(cell);
+    }
+  }
+  return spec;
+}
+
+SweepMetrics usd_trial(const SweepTrial& ctx) {
+  std::vector<Count> counts(ctx.cell.k, ctx.cell.n / static_cast<Count>(ctx.cell.k));
+  counts[0] += ctx.cell.n - counts[0] * static_cast<Count>(ctx.cell.k);
+  UsdEngine engine(counts, ctx.seed);
+  engine.run_until_stable(1'000'000);
+  TrialResult r;
+  r.stabilized = engine.stabilized();
+  r.interactions = engine.interactions();
+  r.parallel_time = engine.time();
+  r.winner = engine.winner();
+  return consensus_metrics(r);
+}
+
+TEST(SweepRunnerTest, ThreadCountDoesNotChangeTheJsonByte4Byte) {
+  // The acceptance property of the harness: a run with --threads 1 and a
+  // run with --threads 8 produce byte-identical unified JSON reports.
+  const SweepResult serial = SweepRunner(small_usd_spec(1)).run(usd_trial);
+  const SweepResult parallel = SweepRunner(small_usd_spec(8)).run(usd_trial);
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+  EXPECT_EQ(serial.threads, 1u);
+  EXPECT_EQ(parallel.threads, 8u);
+}
+
+TEST(SweepRunnerTest, PerTrialResultsMatchAcrossThreadCounts) {
+  const SweepResult serial = SweepRunner(small_usd_spec(1)).run(usd_trial);
+  const SweepResult parallel = SweepRunner(small_usd_spec(4)).run(usd_trial);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+    EXPECT_EQ(serial.cells[c].trials, parallel.cells[c].trials) << "cell " << c;
+  }
+}
+
+TEST(SweepRunnerTest, SeedingSchemeIsCellTimesTrialsPlusTrial) {
+  SweepSpec spec;
+  spec.name = "seeding";
+  spec.trials = 4;
+  spec.base_seed = 1234;
+  spec.cells.resize(3);
+  const SweepResult result = SweepRunner(spec).run([](const SweepTrial& ctx) {
+    return SweepMetrics{
+        {"stream_index", static_cast<double>(ctx.stream_index)},
+        {"seed", static_cast<double>(ctx.seed >> 11)},  // exact in a double
+    };
+  });
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      const std::uint64_t expected_index = c * 4 + t;
+      EXPECT_EQ(result.cells[c].values("stream_index")[t],
+                static_cast<double>(expected_index));
+      // The derived seed is the first draw of the documented stream.
+      Xoshiro256pp stream = SweepRunner::trial_stream(1234, expected_index);
+      EXPECT_EQ(result.cells[c].values("seed")[t],
+                static_cast<double>(stream() >> 11));
+    }
+  }
+}
+
+TEST(SweepRunnerTest, AggregatesMatchSummarize) {
+  SweepSpec spec;
+  spec.name = "agg";
+  spec.trials = 5;
+  spec.cells.resize(1);
+  const SweepResult result = SweepRunner(spec).run([](const SweepTrial& ctx) {
+    return SweepMetrics{{"value", static_cast<double>(ctx.trial * ctx.trial)}};
+  });
+  const SweepCellResult& cr = result.cells[0];
+  const SweepMetricAggregate* agg = cr.find("value");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->summary.count, 5);
+  EXPECT_DOUBLE_EQ(agg->summary.mean, (0.0 + 1 + 4 + 9 + 16) / 5);
+  EXPECT_DOUBLE_EQ(agg->summary.min, 0.0);
+  EXPECT_DOUBLE_EQ(agg->summary.max, 16.0);
+  EXPECT_DOUBLE_EQ(agg->summary.median, 4.0);
+  EXPECT_DOUBLE_EQ(cr.sum("value"), 30.0);
+  EXPECT_DOUBLE_EQ(cr.max("value"), 16.0);
+}
+
+TEST(SweepRunnerTest, RaggedMetricsAggregateOverReportingTrials) {
+  SweepSpec spec;
+  spec.name = "ragged";
+  spec.trials = 4;
+  spec.cells.resize(1);
+  const SweepResult result = SweepRunner(spec).run([](const SweepTrial& ctx) {
+    SweepMetrics m = {{"always", 1.0}};
+    if (ctx.trial % 2 == 0) m.emplace_back("sometimes", static_cast<double>(ctx.trial));
+    return m;
+  });
+  const SweepCellResult& cr = result.cells[0];
+  EXPECT_EQ(cr.values("always").size(), 4u);
+  EXPECT_EQ(cr.values("sometimes").size(), 2u);
+  EXPECT_DOUBLE_EQ(cr.mean("sometimes"), 1.0);  // (0 + 2) / 2
+  EXPECT_DOUBLE_EQ(cr.mean("missing", -7.0), -7.0);
+}
+
+TEST(SweepRunnerTest, ConditionalHelpersSelectByFlag) {
+  SweepSpec spec;
+  spec.name = "cond";
+  spec.trials = 4;
+  spec.cells.resize(1);
+  const SweepResult result = SweepRunner(spec).run([](const SweepTrial& ctx) {
+    return SweepMetrics{
+        {"flag", ctx.trial < 2 ? 1.0 : 0.0},
+        {"value", static_cast<double>(ctx.trial + 10)},
+    };
+  });
+  const SweepCellResult& cr = result.cells[0];
+  EXPECT_DOUBLE_EQ(cr.rate("flag"), 0.5);
+  EXPECT_DOUBLE_EQ(cr.mean_where("value", "flag"), 10.5);  // trials 0, 1
+  EXPECT_DOUBLE_EQ(cr.min_where("value", "flag"), 10.0);
+  EXPECT_DOUBLE_EQ(cr.max_where("value", "flag"), 11.0);
+  EXPECT_EQ(cr.values_where("value", "flag").size(), 2u);
+  EXPECT_DOUBLE_EQ(cr.min_where("value", "absent", -3.0), -3.0);
+}
+
+TEST(SweepRunnerTest, CellDrivesAnyEngineKindWithClampedAccounting) {
+  // A cell naming the batched engine builds a batched simulator through the
+  // facade, and the standard metric block separates attempted vs effective
+  // interactions (the τ-leaping clamp used to be double-reported).
+  const UndecidedStateDynamics usd(2);
+  const Configuration initial =
+      UndecidedStateDynamics::initial_configuration({600, 400});
+  for (const EngineKind kind :
+       {EngineKind::kSequential, EngineKind::kSequentialVirtual,
+        EngineKind::kBatched}) {
+    SweepSpec spec;
+    spec.name = "engine";
+    spec.trials = 2;
+    SweepCell cell;
+    cell.n = 1000;
+    cell.k = 2;
+    cell.engine = kind;
+    cell.round_divisor = 8;
+    spec.cells.push_back(cell);
+    const SweepResult result =
+        SweepRunner(spec).run([&](const SweepTrial& ctx) {
+          Engine engine = ctx.make_engine(usd, initial);
+          EXPECT_EQ(engine.kind(), kind);
+          const TrialResult r = run_engine_trial(engine, 10'000'000);
+          EXPECT_EQ(engine.clamped_interactions(), r.clamped);
+          return consensus_metrics(r);
+        });
+    const SweepCellResult& cr = result.cells[0];
+    for (std::size_t t = 0; t < 2; ++t) {
+      EXPECT_DOUBLE_EQ(cr.values("effective_interactions")[t],
+                       cr.values("interactions")[t] - cr.values("clamped")[t]);
+    }
+    if (kind != EngineKind::kBatched) {
+      EXPECT_DOUBLE_EQ(cr.sum("clamped"), 0.0);  // exact engines never clamp
+    }
+  }
+}
+
+TEST(SweepRunnerTest, TrialExceptionsPropagate) {
+  SweepSpec spec;
+  spec.name = "boom";
+  spec.trials = 8;
+  spec.threads = 4;
+  spec.cells.resize(2);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(SweepRunner(spec).run([&](const SweepTrial& ctx) -> SweepMetrics {
+    ++calls;
+    if (ctx.stream_index == 5) throw std::runtime_error("trial failed");
+    return {};
+  }),
+               std::runtime_error);
+  EXPECT_LE(calls.load(), 16);
+}
+
+TEST(SweepRunnerTest, RejectsEmptyNameZeroTrialsAndNullFunction) {
+  SweepSpec unnamed;
+  unnamed.trials = 1;
+  EXPECT_THROW(SweepRunner(std::move(unnamed)), CheckFailure);
+  SweepSpec no_trials;
+  no_trials.name = "x";
+  no_trials.trials = 0;
+  EXPECT_THROW(SweepRunner(std::move(no_trials)), CheckFailure);
+  SweepSpec ok;
+  ok.name = "x";
+  EXPECT_THROW(SweepRunner(std::move(ok)).run(SweepTrialFn{}), CheckFailure);
+}
+
+TEST(SweepRunnerTest, EmptyCellListProducesEmptyResult) {
+  SweepSpec spec;
+  spec.name = "empty";
+  const SweepResult result = SweepRunner(spec).run(
+      [](const SweepTrial&) -> SweepMetrics { return {}; });
+  EXPECT_TRUE(result.cells.empty());
+  EXPECT_NE(result.to_json().find("\"cells\": []"), std::string::npos);
+}
+
+TEST(SweepCellTest, ParamLookupAndLabel) {
+  SweepCell cell;
+  cell.n = 100;
+  cell.k = 7;
+  cell.params = {{"rate", 0.25}};
+  EXPECT_DOUBLE_EQ(cell.param("rate", -1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cell.param("absent", -1.0), -1.0);
+  EXPECT_EQ(cell.label(), "n=100,k=7");
+  cell.name = "custom";
+  EXPECT_EQ(cell.label(), "custom");
+}
+
+TEST(SweepResultTest, JsonCarriesCellAxesAndMetricValues) {
+  SweepSpec spec;
+  spec.name = "json";
+  spec.trials = 2;
+  SweepCell cell;
+  cell.n = 10;
+  cell.k = 2;
+  cell.protocol = "usd";
+  cell.params = {{"rho", 0.5}};
+  spec.cells.push_back(cell);
+  const SweepResult result = SweepRunner(spec).run([](const SweepTrial& ctx) {
+    return SweepMetrics{{"m", static_cast<double>(ctx.trial)}};
+  });
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"sweep\": \"json\""), std::string::npos);
+  EXPECT_NE(json.find("\"rho\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"m\""), std::string::npos);
+  EXPECT_NE(json.find("\"values\": [0, 1]"), std::string::npos);
+  EXPECT_NE(json.find("stream(cell * trials + trial)"), std::string::npos);
+  // Wall clock must stay out of the report (byte-identity across runs).
+  EXPECT_EQ(json.find("wall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsim
