@@ -9,15 +9,51 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <iostream>
 #include <string>
 
 #include "ppsim/core/sweep.hpp"
+#include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
 #include "ppsim/util/json.hpp"
 #include "ppsim/util/table.hpp"
 
 namespace ppsim::benchutil {
+
+/// Above this population the per-agent-cost engines take minutes per trial;
+/// "--engine auto" switches the USD benches to the counts-space collapsed
+/// engine there.
+inline constexpr Count kAutoCollapsedThreshold = 10'000'000;
+
+/// Resolution of the shared --engine flag for the USD benches. `name` is the
+/// resolved flag value, `protocol_label` the sweep-cell protocol string
+/// ("usd-specialized" for the hand-tuned sequential UsdEngine).
+struct ResolvedEngine {
+  EngineKind kind;
+  std::string name;
+  std::string protocol_label;
+};
+
+/// Resolves `engine` ("auto" picks collapsed above kAutoCollapsedThreshold,
+/// sequential otherwise) and validates it against "sequential" plus
+/// `extra_allowed`. Throws CheckFailure on anything else.
+inline ResolvedEngine resolve_usd_engine(
+    std::string engine, Count n,
+    std::initializer_list<const char*> extra_allowed) {
+  if (engine == "auto") {
+    engine = n > kAutoCollapsedThreshold ? "collapsed" : "sequential";
+  }
+  bool ok = engine == "sequential";
+  std::string options = "auto, sequential";
+  for (const char* allowed : extra_allowed) {
+    ok = ok || engine == allowed;
+    options += std::string(", ") + allowed;
+  }
+  PPSIM_CHECK(ok, "--engine must be one of: " + options);
+  return {*parse_engine(engine), engine,
+          engine == "sequential" ? "usd-specialized" : "usd-" + engine};
+}
 
 /// Prints the bench banner with the resolved parameter set.
 inline void banner(const std::string& name, const std::string& purpose) {

@@ -8,7 +8,11 @@
 // One sweep cell per k; the worst excursion per cell is the max over the
 // per-trial "max_undecided" metric (no shared mutable state needed).
 //
-// Flags: --n, --trials, --seed, --kmin, --kmax, --threads, --json.
+// Flags: --n, --trials, --seed, --kmin, --kmax, --threads, --json,
+//        --tau-epsilon (collapsed drift tolerance, default 0.05),
+//        --engine auto|sequential|collapsed (auto picks the counts-space
+//        collapsed engine above n = 10^7; its per-round u(t) sampling makes
+//        the excursion measurement round-granular — see docs/REPRODUCING.md).
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -20,6 +24,7 @@
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
 
 namespace {
@@ -31,14 +36,19 @@ int run(int argc, char** argv) {
   const Count n = cli.get_int("n", 100'000);
   const std::int64_t kmin = cli.get_int("kmin", 4);
   const std::int64_t kmax = cli.get_int("kmax", 64);
+  const std::string engine_flag = cli.get_string("engine", "auto");
+  const double tau_epsilon = cli.get_double("tau-epsilon", 0.05);
   const SweepCliOptions opts =
       read_sweep_flags(cli, 5, 31, "BENCH_lemma31_undecided.json");
   cli.validate_no_unknown_flags();
+  const benchutil::ResolvedEngine engine =
+      benchutil::resolve_usd_engine(engine_flag, n, {"collapsed"});
 
   benchutil::banner("lemma31_undecided",
                     "Lemma 3.1: max_t u(t) vs the explicit ceiling and the settle point");
   benchutil::param("n", n);
   benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
+  benchutil::param("engine", engine.name);
   benchutil::param("sqrt(n ln n)", std::sqrt(static_cast<double>(n) *
                                              std::log(static_cast<double>(n))));
 
@@ -48,19 +58,34 @@ int run(int argc, char** argv) {
   spec.base_seed = opts.seed;
   spec.threads = opts.threads;
   std::vector<InitialConfig> inits;
+  std::vector<UndecidedStateDynamics> protocols;
+  std::vector<Configuration> initials;
   for (std::int64_t k = kmin; k <= kmax; k *= 2) {
     const auto ku = static_cast<std::size_t>(k);
     inits.push_back(figure1_configuration(n, ku));
+    protocols.emplace_back(ku);
+    initials.push_back(
+        UndecidedStateDynamics::initial_configuration(inits.back().opinion_counts));
     SweepCell cell;
     cell.n = n;
     cell.k = ku;
     cell.bias = static_cast<double>(inits.back().bias);
+    cell.engine = engine.kind;
+    cell.protocol = engine.protocol_label;
+    cell.tau_epsilon = tau_epsilon;
     spec.cells.push_back(cell);
   }
 
+  const Interactions budget = sat_mul(100000, n);
   auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
-    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
-    const UndecidedExcursion exc = max_undecided_over_run(engine, 100000 * n);
+    UndecidedExcursion exc;
+    if (ctx.cell.engine == EngineKind::kCollapsed) {
+      Engine sim = ctx.make_engine(protocols[ctx.cell_index], initials[ctx.cell_index]);
+      exc = max_undecided_over_run(sim, budget);
+    } else {
+      UsdEngine sim(inits[ctx.cell_index].opinion_counts, ctx.seed);
+      exc = max_undecided_over_run(sim, budget);
+    }
     return {
         {"stabilized", exc.stabilized ? 1.0 : 0.0},
         {"max_undecided", static_cast<double>(exc.max_undecided)},

@@ -7,7 +7,11 @@
 // One sweep cell per k; trials report the hit flag and the hitting time as
 // metrics, and violations are counted from the per-trial values.
 //
-// Flags: --n, --trials, --seed, --kmin, --kmax, --threads, --json.
+// Flags: --n, --trials, --seed, --kmin, --kmax, --threads, --json,
+//        --tau-epsilon (collapsed drift tolerance, default 0.05),
+//        --engine auto|sequential|collapsed (auto picks the counts-space
+//        collapsed engine above n = 10^7; hitting times are then
+//        round-granular — see docs/REPRODUCING.md).
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -18,6 +22,7 @@
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
 
 namespace {
@@ -29,14 +34,19 @@ int run(int argc, char** argv) {
   const Count n = cli.get_int("n", 100'000);
   const std::int64_t kmin = cli.get_int("kmin", 8);
   const std::int64_t kmax = cli.get_int("kmax", 64);
+  const std::string engine_flag = cli.get_string("engine", "auto");
+  const double tau_epsilon = cli.get_double("tau-epsilon", 0.05);
   const SweepCliOptions opts = read_sweep_flags(cli, 5, 33, "BENCH_lemma33_growth.json");
   cli.validate_no_unknown_flags();
+  const benchutil::ResolvedEngine engine =
+      benchutil::resolve_usd_engine(engine_flag, n, {"collapsed"});
 
   benchutil::banner(
       "lemma33_growth",
       "Lemma 3.3: interactions for x_1 to reach 2n/k (lower bound: kn/25)");
   benchutil::param("n", n);
   benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
+  benchutil::param("engine", engine.name);
 
   SweepSpec spec;
   spec.name = "lemma33_growth";
@@ -44,23 +54,37 @@ int run(int argc, char** argv) {
   spec.base_seed = opts.seed;
   spec.threads = opts.threads;
   std::vector<InitialConfig> inits;
+  std::vector<UndecidedStateDynamics> protocols;
+  std::vector<Configuration> initials;
   for (std::int64_t k = kmin; k <= kmax; k *= 2) {
     const auto ku = static_cast<std::size_t>(k);
     inits.push_back(figure1_configuration(n, ku));
+    protocols.emplace_back(ku);
+    initials.push_back(
+        UndecidedStateDynamics::initial_configuration(inits.back().opinion_counts));
     SweepCell cell;
     cell.n = n;
     cell.k = ku;
     cell.bias = static_cast<double>(inits.back().bias);
+    cell.engine = engine.kind;
+    cell.protocol = engine.protocol_label;
+    cell.tau_epsilon = tau_epsilon;
     cell.params = {{"target", bounds::lemma33_target_level(n, ku)},
                    {"bound", bounds::lemma33_interactions(n, ku)}};
     spec.cells.push_back(cell);
   }
 
+  const Interactions budget = sat_mul(100000, n);
   auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
-    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
     const auto target = static_cast<Count>(ctx.cell.param("target", 0.0));
-    const HittingResult r =
-        time_until_opinion_reaches(engine, 0, target, 100000 * n);
+    HittingResult r;
+    if (ctx.cell.engine == EngineKind::kCollapsed) {
+      Engine sim = ctx.make_engine(protocols[ctx.cell_index], initials[ctx.cell_index]);
+      r = time_until_opinion_reaches(sim, 0, target, budget);
+    } else {
+      UsdEngine sim(inits[ctx.cell_index].opinion_counts, ctx.seed);
+      r = time_until_opinion_reaches(sim, 0, target, budget);
+    }
     SweepMetrics m = {{"hit", r.hit ? 1.0 : 0.0}};
     // A run that stabilized below the target never violated the bound (the
     // opinion never grew that fast) — it simply reports no hitting time.

@@ -5,7 +5,11 @@
 // against the bound.
 //
 // Flags: --n, --trials, --seed, --kmin, --kmax, --bias-mult (α/2 as a
-//        multiple of √(n ln n)), --threads, --json.
+//        multiple of √(n ln n)), --threads, --json,
+//        --tau-epsilon (collapsed drift tolerance, default 0.05),
+//        --engine auto|sequential|collapsed (auto picks the counts-space
+//        collapsed engine above n = 10^7; doubling times are then
+//        round-granular — see docs/REPRODUCING.md).
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -16,6 +20,7 @@
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
 
 namespace {
@@ -28,15 +33,20 @@ int run(int argc, char** argv) {
   const std::int64_t kmin = cli.get_int("kmin", 8);
   const std::int64_t kmax = cli.get_int("kmax", 64);
   const double bias_mult = cli.get_double("bias-mult", 2.0);
+  const std::string engine_flag = cli.get_string("engine", "auto");
+  const double tau_epsilon = cli.get_double("tau-epsilon", 0.05);
   const SweepCliOptions opts =
       read_sweep_flags(cli, 5, 34, "BENCH_lemma34_doubling.json");
   cli.validate_no_unknown_flags();
+  const benchutil::ResolvedEngine engine =
+      benchutil::resolve_usd_engine(engine_flag, n, {"collapsed"});
 
   benchutil::banner(
       "lemma34_doubling",
       "Lemma 3.4: interactions for the max difference to double (bound: kn/24)");
   benchutil::param("n", n);
   benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
+  benchutil::param("engine", engine.name);
   benchutil::param("alpha/2 multiplier of sqrt(n ln n)", bias_mult);
 
   SweepSpec spec;
@@ -45,23 +55,38 @@ int run(int argc, char** argv) {
   spec.base_seed = opts.seed;
   spec.threads = opts.threads;
   std::vector<InitialConfig> inits;
+  std::vector<UndecidedStateDynamics> protocols;
+  std::vector<Configuration> initials;
   for (std::int64_t k = kmin; k <= kmax; k *= 2) {
     const auto ku = static_cast<std::size_t>(k);
     const auto alpha_half = static_cast<Count>(bias_mult * bounds::whp_bias(n));
     inits.push_back(adversarial_configuration(n, ku, alpha_half));
+    protocols.emplace_back(ku);
+    initials.push_back(
+        UndecidedStateDynamics::initial_configuration(inits.back().opinion_counts));
     SweepCell cell;
     cell.n = n;
     cell.k = ku;
     cell.bias = static_cast<double>(inits.back().bias);
+    cell.engine = engine.kind;
+    cell.protocol = engine.protocol_label;
+    cell.tau_epsilon = tau_epsilon;
     cell.params = {{"alpha", static_cast<double>(2 * inits.back().bias)},
                    {"bound", bounds::lemma34_interactions(n, ku)}};
     spec.cells.push_back(cell);
   }
 
+  const Interactions budget = sat_mul(100000, n);
   auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
-    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
     const auto alpha = static_cast<Count>(ctx.cell.param("alpha", 0.0));
-    const HittingResult r = time_until_delta_reaches(engine, alpha, 100000 * n);
+    HittingResult r;
+    if (ctx.cell.engine == EngineKind::kCollapsed) {
+      Engine sim = ctx.make_engine(protocols[ctx.cell_index], initials[ctx.cell_index]);
+      r = time_until_delta_reaches(sim, alpha, budget);
+    } else {
+      UsdEngine sim(inits[ctx.cell_index].opinion_counts, ctx.seed);
+      r = time_until_delta_reaches(sim, alpha, budget);
+    }
     SweepMetrics m = {{"hit", r.hit ? 1.0 : 0.0}};
     if (r.hit) {  // Δmax never doubled: bound trivially held, no time to report
       m.emplace_back("doubling_interactions",

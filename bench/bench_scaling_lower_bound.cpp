@@ -15,8 +15,10 @@
 // every per-trial value for CI trend tracking.
 //
 // Flags: --n, --trials, --seed, --kmin, --kmax (sweep is geometric-ish),
-//        --threads, --engine sequential|batched (batched makes paper-scale n
-//        practical), --round-divisor, --json (empty disables the report).
+//        --threads, --engine auto|sequential|batched|collapsed (auto picks
+//        collapsed above n = 10^7 — the counts-space engine makes
+//        n = 10^9-10^11 sweeps tractable; see docs/REPRODUCING.md),
+//        --round-divisor, --tau-epsilon, --json (empty disables the report).
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -41,13 +43,14 @@ int run(int argc, char** argv) {
   // Stay well inside k = o(√n/ln n): for n = 250k, √n/ln n ≈ 40, so the
   // default sweep tops out at 32 (the bound degenerates beyond).
   const std::int64_t kmax = cli.get_int("kmax", 32);
-  const std::string engine = cli.get_string("engine", "sequential");
+  const std::string engine_flag = cli.get_string("engine", "auto");
   const Interactions round_divisor = cli.get_int("round-divisor", 16);
+  const double tau_epsilon = cli.get_double("tau-epsilon", 0.05);
   const SweepCliOptions opts =
       read_sweep_flags(cli, 5, 7, "BENCH_scaling_lower_bound.json");
   cli.validate_no_unknown_flags();
-  PPSIM_CHECK(engine == "sequential" || engine == "batched",
-              "--engine must be sequential or batched");
+  const benchutil::ResolvedEngine engine =
+      benchutil::resolve_usd_engine(engine_flag, n, {"batched", "collapsed"});
 
   benchutil::banner("scaling_lower_bound",
                     "Theorem 3.5: stabilization time vs k, against LB (k/25)ln(sqrt(n)/(k ln n)) "
@@ -55,7 +58,7 @@ int run(int argc, char** argv) {
   benchutil::param("n", n);
   benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
   benchutil::param("seed", static_cast<std::int64_t>(opts.seed));
-  benchutil::param("engine", engine);
+  benchutil::param("engine", engine.name);
   benchutil::param("threads", static_cast<std::int64_t>(opts.threads));
 
   SweepSpec spec;
@@ -76,20 +79,22 @@ int run(int argc, char** argv) {
     cell.n = n;
     cell.k = ku;
     cell.bias = static_cast<double>(inits.back().bias);
-    cell.engine = engine == "batched" ? EngineKind::kBatched : EngineKind::kSequential;
-    cell.protocol = engine == "batched" ? "usd-batched" : "usd-specialized";
+    cell.engine = engine.kind;
+    cell.protocol = engine.protocol_label;
     cell.round_divisor = round_divisor;
+    cell.tau_epsilon = tau_epsilon;
     spec.cells.push_back(cell);
   }
 
+  const Interactions budget = sat_mul(100000, n);
   auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
     TrialResult r;
-    if (ctx.cell.engine == EngineKind::kBatched) {
+    if (ctx.cell.engine != EngineKind::kSequential) {
       Engine sim = ctx.make_engine(protocols[ctx.cell_index], initials[ctx.cell_index]);
-      r = run_engine_trial(sim, 100000 * n);
+      r = run_engine_trial(sim, budget);
     } else {
       UsdEngine e(inits[ctx.cell_index].opinion_counts, ctx.seed);
-      e.run_until_stable(100000 * n);
+      e.run_until_stable(budget);
       r.stabilized = e.stabilized();
       r.interactions = e.interactions();
       r.parallel_time = e.time();

@@ -1,10 +1,11 @@
-// Engine throughput shoot-out: sequential vs. batched simulation of USD on
-// the paper's Figure-1 configuration, at paper scale by default (n = 10⁷,
-// k = 3). Three engines run the same workload to stabilization:
+// Engine throughput shoot-out: sequential vs. round-based simulation of USD
+// on the paper's Figure-1 configuration, at paper scale by default (n = 10⁷,
+// k = 3). Four engines run the same workload to stabilization:
 //
 //   * sequential  — generic table-driven Simulator, one interaction/step;
 //   * specialized — UsdEngine, the hand-tuned sequential USD engine;
-//   * batched     — BatchedSimulator, Θ(n) interactions per O(q²) round.
+//   * batched     — BatchedSimulator, Θ(n) interactions per O(q²) round;
+//   * collapsed   — CollapsedSimulator, counts-space adaptive-τ rounds.
 //
 // Runs on the SweepRunner: one cell per engine, --trials trials per cell,
 // fanned out over --threads workers with deterministic per-trial RNG
@@ -17,7 +18,8 @@
 // BENCH_throughput.json) so CI can track the perf trajectory.
 //
 // Flags: --n, --k, --trials, --seed, --max-parallel, --round-divisor,
-//        --threads (0 = hardware), --json (empty string disables the file).
+//        --tau-epsilon, --threads (0 = hardware), --json (empty disables
+//        the file).
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -40,13 +42,14 @@ int run(int argc, char** argv) {
   const auto k = static_cast<std::size_t>(cli.get_int("k", 3));
   const double max_parallel = cli.get_double("max-parallel", 1000.0);
   const Interactions round_divisor = cli.get_int("round-divisor", 16);
+  const double tau_epsilon = cli.get_double("tau-epsilon", 0.05);
   const SweepCliOptions opts =
       read_sweep_flags(cli, 1, 42, "BENCH_throughput.json");
   cli.validate_no_unknown_flags();
 
   benchutil::banner("throughput",
                     "wall-clock comparison of the USD engines on one workload: "
-                    "sequential (generic + specialized) vs batched rounds");
+                    "sequential (generic + specialized) vs batched vs collapsed");
   benchutil::param("n", n);
   benchutil::param("k", static_cast<std::int64_t>(k));
   benchutil::param("trials", static_cast<std::int64_t>(opts.trials));
@@ -66,15 +69,17 @@ int run(int argc, char** argv) {
   spec.trials = opts.trials;
   spec.base_seed = opts.seed;
   spec.threads = opts.threads;
-  for (const char* variant : {"sequential", "specialized", "batched"}) {
+  for (const char* variant : {"sequential", "specialized", "batched", "collapsed"}) {
     SweepCell cell;
     cell.n = n;
     cell.k = k;
     cell.bias = static_cast<double>(init.bias);
     cell.protocol = variant;
-    cell.engine = std::string(variant) == "batched" ? EngineKind::kBatched
-                                                    : EngineKind::kSequential;
+    cell.engine = EngineKind::kSequential;
+    if (std::string(variant) == "batched") cell.engine = EngineKind::kBatched;
+    if (std::string(variant) == "collapsed") cell.engine = EngineKind::kCollapsed;
     cell.round_divisor = round_divisor;
+    cell.tau_epsilon = tau_epsilon;
     cell.name = variant;
     spec.cells.push_back(cell);
   }
@@ -124,14 +129,18 @@ int run(int argc, char** argv) {
   const double wall_sequential = result.cells[0].sum("wall_seconds");
   const double wall_specialized = result.cells[1].sum("wall_seconds");
   const double wall_batched = result.cells[2].sum("wall_seconds");
-  const double speedup_vs_sequential =
-      wall_batched > 0.0 ? wall_sequential / wall_batched : 0.0;
-  const double speedup_vs_specialized =
-      wall_batched > 0.0 ? wall_specialized / wall_batched : 0.0;
-  std::cout << "\nbatched vs sequential  (wall-clock): "
-            << format_double(speedup_vs_sequential, 1) << "x\n"
-            << "batched vs specialized (wall-clock): "
-            << format_double(speedup_vs_specialized, 1) << "x\n";
+  const double wall_collapsed = result.cells[3].sum("wall_seconds");
+  auto speedup = [](double base, double fast) {
+    return fast > 0.0 ? base / fast : 0.0;
+  };
+  std::cout << "\nbatched vs sequential    (wall-clock): "
+            << format_double(speedup(wall_sequential, wall_batched), 1) << "x\n"
+            << "batched vs specialized   (wall-clock): "
+            << format_double(speedup(wall_specialized, wall_batched), 1) << "x\n"
+            << "collapsed vs sequential  (wall-clock): "
+            << format_double(speedup(wall_sequential, wall_collapsed), 1) << "x\n"
+            << "collapsed vs batched     (wall-clock): "
+            << format_double(speedup(wall_batched, wall_collapsed), 1) << "x\n";
 
   benchutil::finish_sweep(result, opts);
   return 0;

@@ -7,14 +7,17 @@
 //   ppsim_run --protocol usd-gossip --n 50000 --k 4
 //   ppsim_run --protocol usd --n 100000 --k 8 --series out.tsv
 //   ppsim_run --protocol usd --n 10000000 --k 3 --engine batched
+//   ppsim_run --protocol usd --n 1000000000 --k 32 --engine collapsed
 //   ppsim_run --protocol usd --n 100000 --trials 64 --threads 8
 //
 // Protocols: usd | usd-gossip | three-majority | four-state | averaging |
 //            cancel-duplicate | leader-election | epidemic.
 // --bias auto = sqrt(n ln n). --series FILE writes the USD time series.
-// --engine auto | sequential | virtual | batched selects the generic engine
-// (auto keeps each protocol's tuned default; batched trades τ-leaping
-// round granularity for orders of magnitude in wall clock — see README.md).
+// --engine auto | sequential | virtual | batched | collapsed selects the
+// generic engine (auto keeps each protocol's tuned default; batched and
+// collapsed trade τ-leaping round granularity for orders of magnitude in
+// wall clock — collapsed is counts-space with adaptive rounds and reaches
+// n = 10^9-10^11; see README.md and docs/ARCHITECTURE.md).
 // Trials run on the SweepRunner: --threads N fans them out over N workers
 // (0 = hardware) with deterministic per-trial RNG streams, so results are
 // identical at any thread count; --json writes the unified sweep report.
@@ -123,7 +126,7 @@ int run(int argc, char** argv) {
   if (engine_flag != "auto") {
     engine_override = parse_engine(engine_flag);
     PPSIM_CHECK(engine_override.has_value(),
-                "--engine must be auto | sequential | virtual | batched");
+                "--engine must be auto | sequential | virtual | batched | collapsed");
   }
 
   const Count bias =

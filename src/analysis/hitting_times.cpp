@@ -78,4 +78,84 @@ UndecidedExcursion max_undecided_over_run(UsdEngine& engine,
   return result;
 }
 
+namespace {
+
+/// Facade-engine first-hitting loop: run_until checks the predicate once per
+/// round (including before the first round), so the recorded hit is the
+/// first round boundary at or past the true hitting time. run_until's loop
+/// condition skips the predicate on the round that exhausts the budget, so
+/// the final configuration is re-checked here — otherwise a hit inside the
+/// last round would be reported as a miss, diverging from the UsdEngine
+/// overloads.
+template <typename ValueFn>
+HittingResult hit_level_engine(Engine& engine, Count level,
+                               Interactions max_interactions, ValueFn&& value) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  HittingResult result;
+  const RunOutcome out = engine.run_until(
+      [&](const Configuration& c, Interactions t) {
+        if (value(c) >= level) {
+          result.hit = true;
+          result.interactions_at_hit = t;
+          return true;
+        }
+        return false;
+      },
+      max_interactions);
+  if (!result.hit && value(engine.configuration()) >= level) {
+    result.hit = true;
+    result.interactions_at_hit = out.interactions;
+  }
+  result.interactions_used = out.interactions;
+  result.stabilized = out.stabilized;
+  return result;
+}
+
+}  // namespace
+
+HittingResult time_until_opinion_reaches(Engine& engine, Opinion i, Count level,
+                                         Interactions max_interactions) {
+  const State s = UndecidedStateDynamics::opinion_state(i);
+  PPSIM_CHECK(s < engine.configuration().num_states(), "opinion out of range");
+  return hit_level_engine(engine, level, max_interactions,
+                          [s](const Configuration& c) { return c.count(s); });
+}
+
+HittingResult time_until_delta_reaches(Engine& engine, Count level,
+                                       Interactions max_interactions) {
+  return hit_level_engine(
+      engine, level, max_interactions, [](const Configuration& c) {
+        Count max_op = 0;
+        Count min_op = c.population();
+        for (State s = 1; s < static_cast<State>(c.num_states()); ++s) {
+          max_op = std::max(max_op, c.count(s));
+          min_op = std::min(min_op, c.count(s));
+        }
+        return max_op - min_op;
+      });
+}
+
+UndecidedExcursion max_undecided_over_run(Engine& engine,
+                                          Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  UndecidedExcursion result;
+  result.max_undecided = engine.configuration().count(UndecidedStateDynamics::kUndecided);
+  const RunOutcome out = engine.run_until(
+      [&result](const Configuration& c, Interactions) {
+        result.max_undecided =
+            std::max(result.max_undecided, c.count(UndecidedStateDynamics::kUndecided));
+        return false;  // sampling only; the engine stops at stability
+      },
+      max_interactions);
+  // run_until skips the predicate on the round that exhausts the budget;
+  // sample the final configuration so the last round's u(t) is not dropped.
+  result.max_undecided =
+      std::max(result.max_undecided,
+               engine.configuration().count(UndecidedStateDynamics::kUndecided));
+  result.interactions_used = out.interactions;
+  result.stabilized = out.stabilized;
+  return result;
+}
+
 }  // namespace ppsim
+

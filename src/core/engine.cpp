@@ -6,22 +6,29 @@ namespace ppsim {
 
 namespace {
 
-std::variant<Simulator, BatchedSimulator> make_impl(
+using EngineVariant = std::variant<Simulator, BatchedSimulator, CollapsedSimulator>;
+
+EngineVariant make_impl(
     EngineKind kind, const Protocol& protocol, Configuration initial,
-    std::uint64_t seed, BatchedSimulator::Options batched_options) {
+    std::uint64_t seed, BatchedSimulator::Options batched_options,
+    CollapsedSimulator::Options collapsed_options) {
   switch (kind) {
     case EngineKind::kSequential:
-      return std::variant<Simulator, BatchedSimulator>(
+      return EngineVariant(
           std::in_place_type<Simulator>, protocol, std::move(initial), seed,
           Simulator::Engine::kTable);
     case EngineKind::kSequentialVirtual:
-      return std::variant<Simulator, BatchedSimulator>(
+      return EngineVariant(
           std::in_place_type<Simulator>, protocol, std::move(initial), seed,
           Simulator::Engine::kVirtual);
     case EngineKind::kBatched:
-      return std::variant<Simulator, BatchedSimulator>(
+      return EngineVariant(
           std::in_place_type<BatchedSimulator>, protocol, std::move(initial), seed,
           batched_options);
+    case EngineKind::kCollapsed:
+      return EngineVariant(
+          std::in_place_type<CollapsedSimulator>, protocol, std::move(initial),
+          seed, collapsed_options);
   }
   // Reachable only through a forged enum value (e.g. a bad static_cast from
   // an untrusted flag): fail loudly instead of falling off a value-returning
@@ -39,6 +46,7 @@ std::string to_string(EngineKind kind) {
     case EngineKind::kSequential: return "sequential";
     case EngineKind::kSequentialVirtual: return "virtual";
     case EngineKind::kBatched: return "batched";
+    case EngineKind::kCollapsed: return "collapsed";
   }
   return "unknown";
 }
@@ -47,13 +55,16 @@ std::optional<EngineKind> parse_engine(const std::string& name) {
   if (name == "sequential") return EngineKind::kSequential;
   if (name == "virtual") return EngineKind::kSequentialVirtual;
   if (name == "batched") return EngineKind::kBatched;
+  if (name == "collapsed") return EngineKind::kCollapsed;
   return std::nullopt;
 }
 
 Engine::Engine(EngineKind kind, const Protocol& protocol, Configuration initial,
-               std::uint64_t seed, BatchedSimulator::Options batched_options)
+               std::uint64_t seed, BatchedSimulator::Options batched_options,
+               CollapsedSimulator::Options collapsed_options)
     : kind_(kind),
-      impl_(make_impl(kind, protocol, std::move(initial), seed, batched_options)) {}
+      impl_(make_impl(kind, protocol, std::move(initial), seed, batched_options,
+                      collapsed_options)) {}
 
 const Configuration& Engine::configuration() const {
   return std::visit([](const auto& e) -> const Configuration& { return e.configuration(); },

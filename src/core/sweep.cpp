@@ -31,7 +31,8 @@ Engine SweepTrial::make_engine(const Protocol& protocol,
   // trial's private stream, so a trial comparing several engines (e.g.
   // bench_gossip_compare) seeds them from disjoint draws deterministically.
   return Engine(cell.engine, protocol, std::move(initial), rng(),
-                {.round_divisor = cell.round_divisor});
+                {.round_divisor = cell.round_divisor},
+                {.tau_epsilon = cell.tau_epsilon});
 }
 
 const SweepMetricAggregate* SweepCellResult::find(const std::string& metric) const {
@@ -149,6 +150,7 @@ std::string SweepResult::to_json() const {
         .field("engine", to_string(cr.cell.engine))
         .field("protocol", cr.cell.protocol)
         .field("round_divisor", cr.cell.round_divisor)
+        .field("tau_epsilon", cr.cell.tau_epsilon)
         .field("params", params)
         .field("metrics", metric_objects);
     cell_objects.push_back(c);

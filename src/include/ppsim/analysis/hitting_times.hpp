@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "ppsim/core/engine.hpp"
 #include "ppsim/core/types.hpp"
 #include "ppsim/protocols/usd.hpp"
 
@@ -45,6 +46,25 @@ struct UndecidedExcursion {
   bool stabilized = false;
 };
 UndecidedExcursion max_undecided_over_run(UsdEngine& engine,
+                                          Interactions max_interactions);
+
+// Engine-facade variants for USD runs on the generic engines (in practice
+// the collapsed/batched engines at populations beyond the specialized
+// UsdEngine's reach). The engine's Configuration must use the USD state
+// layout (state 0 = ⊥, state i+1 = opinion i). Observables are checked once
+// per *round*, so hitting times are round-granular: exact for the
+// single-interaction-round engines, and within one τ-leap round (≤
+// tau_epsilon·n interactions) of the exact first-hitting time for the
+// collapsed engine — see docs/REPRODUCING.md for how the benches report
+// this.
+
+HittingResult time_until_opinion_reaches(Engine& engine, Opinion i, Count level,
+                                         Interactions max_interactions);
+
+HittingResult time_until_delta_reaches(Engine& engine, Count level,
+                                       Interactions max_interactions);
+
+UndecidedExcursion max_undecided_over_run(Engine& engine,
                                           Interactions max_interactions);
 
 }  // namespace ppsim

@@ -1,0 +1,156 @@
+// Counts-space ("collapsed") simulation engine for population protocols.
+//
+// The sequential Simulator materializes nothing but already works on counts;
+// its cost is still one RNG draw per *interaction*, and the BatchedSimulator
+// leaps in fixed rounds of n/divisor interactions regardless of how fast the
+// configuration is actually moving. This engine simulates the pair-count
+// Markov chain directly and is built for populations far beyond what either
+// can reach (n = 10^9–10^11):
+//
+//   * State is only the S = |Σ| counts (a Configuration). No per-agent data
+//     structure exists at any n.
+//   * Single-interaction rounds sample the ordered interacting pair from the
+//     *exact* pair distribution — P[(a, b)] = w(a,b) / n(n−1) with
+//     w(a,b) = c_a·c_b for a ≠ b and w(a,a) = c_a·(c_a − 1) — through a
+//     Walker/Vose AliasTable over the active (non-null) pairs that is
+//     rebuilt lazily: null interactions leave the counts unchanged, so the
+//     table survives them untouched and a rebuild costs O(S²) only when a
+//     state count actually moved.
+//   * Multi-interaction rounds batch a run of identical-distribution draws:
+//     one binomial splits off the null interactions, one exact multinomial
+//     distributes the rest over the active pairs (same two-stage law as the
+//     batched engine), and the round length τ comes from an adaptive
+//     controller instead of a fixed clamp heuristic.
+//
+// The τ controller (choose_tau) bounds per-round drift error two ways:
+//   1. per-state: the *expected* number of interactions consuming state s in
+//     the round is at most tau_epsilon · c_s, so no state's count drifts by
+//     more than an ε fraction in expectation (and the overdraw clamp, kept
+//     for safety, needs a many-sigma multinomial deviation to fire);
+//   2. aggregate: τ ≤ tau_epsilon · n, bounding the total fraction of agents
+//     whose states go stale within one round (this also covers inflow-driven
+//     growth of states that start the round near zero, e.g. u(0) = 0 in the
+//     paper's initial configurations).
+// With tau_epsilon = 0.05 and USD-style dynamics τ stays near ε·n throughout
+// a run — orders of magnitude fewer rounds than interactions — while
+// shrinking automatically wherever a state is being drained quickly.
+//
+// Exactness: with max_round = 1 (or budget 1) every round is a single draw
+// from the exact pair law, realising precisely the sequential Markov chain;
+// tests/engine_equivalence_test.cpp pins this against the sequential
+// engines. For larger rounds it is a τ-leaping approximation with the error
+// knobs above. Counts and interaction totals use 64-bit saturating
+// arithmetic (util/check sat_add/sat_mul); populations are capped at 2^53 so
+// every count stays exactly representable in the double-precision weights.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/protocol.hpp"
+#include "ppsim/core/simulator.hpp"
+#include "ppsim/core/transition_table.hpp"
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/alias_table.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+class CollapsedSimulator {
+ public:
+  struct Options {
+    /// Per-round drift tolerance ε of the τ controller (see file comment).
+    /// Smaller is more accurate and slower; 0.05 keeps the stabilization-time
+    /// distribution within the batched engine's measured KS envelope while
+    /// adapting the round length to the configuration.
+    double tau_epsilon = 0.05;
+    /// Hard cap on the round length; 0 = no cap (the controller decides).
+    /// max_round = 1 forces single-interaction rounds, i.e. the exact
+    /// sequential chain.
+    Interactions max_round = 0;
+  };
+
+  /// Largest supported population: counts and pair weights must stay exactly
+  /// representable in a double (2^53).
+  static constexpr Count kMaxPopulation = Count{1} << 53;
+
+  /// The protocol must outlive the simulator. Requires 2 ≤ n ≤ 2^53.
+  CollapsedSimulator(const Protocol& protocol, Configuration initial,
+                     std::uint64_t seed, Options options);
+  CollapsedSimulator(const Protocol& protocol, Configuration initial,
+                     std::uint64_t seed);
+
+  const Configuration& configuration() const noexcept { return config_; }
+  Interactions interactions() const noexcept { return interactions_; }
+  double parallel_time() const noexcept {
+    return ppsim::parallel_time(interactions_, config_.population());
+  }
+  Interactions clamped_interactions() const noexcept { return clamped_; }
+  /// Length the τ controller chose for the most recent round (0 before the
+  /// first round). Exposed for tests and adaptivity diagnostics.
+  Interactions last_round_size() const noexcept { return last_round_size_; }
+
+  /// Simulates one round of at most `max_interactions` interactions; the τ
+  /// controller picks the actual length. Returns the number simulated. If
+  /// the configuration is stable the whole budget is consumed in one null
+  /// round (nothing can change, so the leap is exact).
+  Interactions step_round(Interactions max_interactions);
+
+  /// Runs whole rounds until the protocol stabilizes or `max_interactions`
+  /// total interactions (counted from construction) have been simulated.
+  /// Same contract as Simulator::run_until_stable.
+  RunOutcome run_until_stable(Interactions max_interactions);
+
+  /// Runs until `predicate(config, interactions)` holds or the budget is
+  /// exhausted. The predicate is checked once per *round* (round boundaries
+  /// are ≤ tau_epsilon·n interactions apart, so per-round observables lag
+  /// the exact chain by at most that much).
+  RunOutcome run_until(
+      const std::function<bool(const Configuration&, Interactions)>& predicate,
+      Interactions max_interactions);
+
+  /// True iff no applicable pair can change any state.
+  bool is_stable() const { return table_.is_stable(config_); }
+
+  /// If every agent's output is the same committed opinion, returns it.
+  std::optional<Opinion> consensus_output() const {
+    return ppsim::consensus_output(protocol_, config_);
+  }
+
+ private:
+  RunOutcome outcome() const;
+  /// Rebuilds the active-pair enumeration (weights, transitions, per-state
+  /// consumption) if a count changed since the last build. O(S²).
+  void refresh_pairs();
+  /// Adaptive round length: min over the drift bounds, clamped to
+  /// [1, budget] and options_.max_round. Requires fresh pair data.
+  Interactions choose_tau(Interactions budget) const;
+  /// Applies m interactions of active pair i with the batched engine's
+  /// overdraw clamp; marks the pair data dirty if any count moved.
+  void apply_bulk(std::size_t i, Interactions m);
+
+  const Protocol& protocol_;
+  TransitionTable table_;
+  Configuration config_;
+  Xoshiro256pp rng_;
+  Options options_;
+  Interactions interactions_ = 0;
+  Interactions clamped_ = 0;
+  Interactions last_round_size_ = 0;
+
+  // Active-pair data, valid while !pairs_dirty_ (counts unchanged).
+  bool pairs_dirty_ = true;
+  double total_weight_ = 0.0;   // n·(n−1), all ordered pairs
+  double active_weight_ = 0.0;  // Σ w over non-null pairs
+  std::vector<State> pair_a_;
+  std::vector<State> pair_b_;
+  std::vector<Transition> pair_t_;
+  std::vector<double> pair_weight_;
+  std::vector<double> consumption_;  // per-state Σ w_i · (agents of s removed)
+  AliasTable alias_;                 // over pair_weight_; built on demand
+  bool alias_built_ = false;
+};
+
+}  // namespace ppsim

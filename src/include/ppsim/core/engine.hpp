@@ -1,12 +1,12 @@
 // One switchable front door for the generic simulation engines.
 //
-// The library now has three ways to run a Protocol: the sequential
-// table-driven Simulator, the sequential virtual-dispatch Simulator, and the
-// round-based BatchedSimulator. Runner experiments, the benches and
-// examples/ppsim_run select between them with one EngineKind value instead
-// of hard-coding an engine type; Engine forwards the shared surface
-// (run_until_stable / run_until / RunOutcome / observables) to whichever
-// implementation the kind names.
+// The library now has four ways to run a Protocol: the sequential
+// table-driven Simulator, the sequential virtual-dispatch Simulator, the
+// round-based BatchedSimulator, and the counts-space CollapsedSimulator.
+// Runner experiments, the benches and examples/ppsim_run select between
+// them with one EngineKind value instead of hard-coding an engine type;
+// Engine forwards the shared surface (run_until_stable / run_until /
+// RunOutcome / observables) to whichever implementation the kind names.
 #pragma once
 
 #include <functional>
@@ -15,6 +15,7 @@
 #include <variant>
 
 #include "ppsim/core/batched_simulator.hpp"
+#include "ppsim/core/collapsed_simulator.hpp"
 #include "ppsim/core/configuration.hpp"
 #include "ppsim/core/protocol.hpp"
 #include "ppsim/core/simulator.hpp"
@@ -26,9 +27,11 @@ enum class EngineKind {
   kSequential,         ///< Simulator, table-driven dispatch (exact)
   kSequentialVirtual,  ///< Simulator, Protocol-vtable dispatch (exact)
   kBatched,            ///< BatchedSimulator (τ-leaping rounds; see its header)
+  kCollapsed,          ///< CollapsedSimulator (counts-space, adaptive τ rounds)
 };
 
-/// "sequential" | "virtual" | "batched" (flag values for benches/examples).
+/// "sequential" | "virtual" | "batched" | "collapsed" (flag values for
+/// benches/examples).
 std::string to_string(EngineKind kind);
 
 /// Inverse of to_string; nullopt for unknown names.
@@ -37,9 +40,10 @@ std::optional<EngineKind> parse_engine(const std::string& name);
 class Engine {
  public:
   /// The protocol must outlive the engine. `batched_options` only applies to
-  /// EngineKind::kBatched.
+  /// EngineKind::kBatched, `collapsed_options` only to EngineKind::kCollapsed.
   Engine(EngineKind kind, const Protocol& protocol, Configuration initial,
-         std::uint64_t seed, BatchedSimulator::Options batched_options = {});
+         std::uint64_t seed, BatchedSimulator::Options batched_options = {},
+         CollapsedSimulator::Options collapsed_options = {});
 
   EngineKind kind() const noexcept { return kind_; }
   const Configuration& configuration() const;
@@ -60,7 +64,7 @@ class Engine {
 
  private:
   EngineKind kind_;
-  std::variant<Simulator, BatchedSimulator> impl_;
+  std::variant<Simulator, BatchedSimulator, CollapsedSimulator> impl_;
 };
 
 }  // namespace ppsim

@@ -51,6 +51,7 @@ struct SweepCell {
   EngineKind engine = EngineKind::kSequential;
   std::string protocol = "usd";
   Interactions round_divisor = 16;  ///< batched engine granularity
+  double tau_epsilon = 0.05;        ///< collapsed engine drift tolerance
   /// Bench-specific scalar knobs, carried into the report verbatim.
   std::vector<std::pair<std::string, double>> params;
   /// Row label for tables/reports; label() falls back to "n=..,k=..".

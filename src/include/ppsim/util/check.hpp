@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -46,6 +47,32 @@ namespace detail {
 #else
 #define PPSIM_ASSERT(expr) PPSIM_CHECK(expr, "internal assertion")
 #endif
+
+/// Saturating 64-bit addition: clamps to the std::int64_t range instead of
+/// overflowing (signed overflow is UB). Used for count/interaction
+/// accounting at populations where products and budgets approach 2^63
+/// (e.g. the counts-space CollapsedSimulator at n = 10^9–10^11).
+constexpr std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t result = 0;
+  if (__builtin_add_overflow(a, b, &result)) {
+    return b > 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+  }
+  return result;
+}
+
+/// Saturating 64-bit multiplication; clamps like sat_add. The ordered-pair
+/// count n·(n−1) saturates near n ≈ 3·10^9 — callers that need the exact
+/// weight beyond that must switch to double arithmetic (and can detect the
+/// switch point by comparing against the saturated value).
+constexpr std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) {
+    return (a > 0) == (b > 0) ? std::numeric_limits<std::int64_t>::max()
+                              : std::numeric_limits<std::int64_t>::min();
+  }
+  return result;
+}
 
 /// Checked narrowing conversion in the spirit of gsl::narrow: throws if the
 /// round-trip changes the value (including sign changes).

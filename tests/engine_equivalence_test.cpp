@@ -1,7 +1,8 @@
-// Cross-validation of the four USD execution paths — specialized UsdEngine,
-// table-driven Simulator, virtual-dispatch Simulator, and GraphSimulator on
-// an explicit clique — which by construction realise the *same* Markov
-// chain. Rather than comparing trajectories (the engines consume randomness
+// Cross-validation of the five USD execution paths — specialized UsdEngine,
+// table-driven Simulator, virtual-dispatch Simulator, GraphSimulator on an
+// explicit clique, and the counts-space CollapsedSimulator restricted to
+// single-interaction rounds — which by construction realise the *same*
+// Markov chain. Rather than comparing trajectories (the engines consume randomness
 // differently), we compare distributions: means and variances of the key
 // observables at several horizons must agree within Monte-Carlo error, and
 // exact one-step transition probabilities must match the drift formulas on
@@ -11,6 +12,7 @@
 #include <tuple>
 
 #include "ppsim/analysis/drift.hpp"
+#include "ppsim/core/collapsed_simulator.hpp"
 #include "ppsim/core/graph.hpp"
 #include "ppsim/core/graph_simulator.hpp"
 #include "ppsim/core/simulator.hpp"
@@ -100,9 +102,23 @@ TEST_P(HorizonTest, AllEnginesAgreeOnMomentsOfU) {
       [](const Configuration& c) { return static_cast<double>(c.count(0)); },
       [](const Configuration& c) { return static_cast<double>(c.count(1)); });
 
-  const Moments* engines[] = {&fast, &table, &virt, &graph};
-  const char* names[] = {"fast", "table", "virtual", "graph"};
-  for (int i = 1; i < 4; ++i) {
+  // Single-interaction rounds (max_round = 1): each round is one draw from
+  // the exact ordered-pair law, so the collapsed engine must realise the
+  // sequential chain distribution step for step.
+  const Moments collapsed = collect(
+      kTrials, horizon, 5000,
+      [&](std::uint64_t seed, Interactions h) {
+        CollapsedSimulator s(usd, Configuration({0, 25, 20, 15}), seed,
+                             {.max_round = 1});
+        for (Interactions i = 0; i < h; ++i) s.step_round(1);
+        return s.configuration();
+      },
+      [](const Configuration& c) { return static_cast<double>(c.count(0)); },
+      [](const Configuration& c) { return static_cast<double>(c.count(1)); });
+
+  const Moments* engines[] = {&fast, &table, &virt, &graph, &collapsed};
+  const char* names[] = {"fast", "table", "virtual", "graph", "collapsed"};
+  for (int i = 1; i < 5; ++i) {
     const double tol_u = 4.5 * (engines[0]->u.sem() + engines[i]->u.sem());
     EXPECT_NEAR(engines[0]->u.mean(), engines[i]->u.mean(), tol_u)
         << "u mismatch: fast vs " << names[i] << " at horizon " << horizon;
@@ -129,6 +145,7 @@ TEST(EngineEquivalenceTest, OneStepLawMatchesDriftOnEveryEngine) {
 
   int fast_clash = 0;
   int graph_clash = 0;
+  int collapsed_clash = 0;
   for (int t = 0; t < kTrials; ++t) {
     UsdEngine e(kOpinions, 50000 + static_cast<std::uint64_t>(t));
     e.step();
@@ -137,9 +154,17 @@ TEST(EngineEquivalenceTest, OneStepLawMatchesDriftOnEveryEngine) {
     GraphSimulator g(usd, clique, agent_layout(), 90000 + static_cast<std::uint64_t>(t));
     g.step();
     if (g.count(UndecidedStateDynamics::kUndecided) > 0) ++graph_clash;
+
+    CollapsedSimulator c(usd, Configuration({0, 25, 20, 15}),
+                         130000 + static_cast<std::uint64_t>(t), {.max_round = 1});
+    c.step_round(1);
+    if (c.configuration().count(UndecidedStateDynamics::kUndecided) > 0) {
+      ++collapsed_clash;
+    }
   }
   EXPECT_NEAR(static_cast<double>(fast_clash) / kTrials, p_clash, 0.006);
   EXPECT_NEAR(static_cast<double>(graph_clash) / kTrials, p_clash, 0.006);
+  EXPECT_NEAR(static_cast<double>(collapsed_clash) / kTrials, p_clash, 0.006);
 }
 
 TEST(EngineDeterminismTest, TableAndVirtualDispatchShareTrajectories) {
@@ -176,11 +201,13 @@ TEST(EngineDeterminismTest, SameSeedReproducesRunOutcome) {
 
 TEST(EngineEquivalenceTest, StabilizationTimesShareDistribution) {
   // Full-run comparison: mean stabilization interactions across engines on
-  // a biased two-party instance.
+  // a biased two-party instance. The collapsed engine runs in exactness mode
+  // (max_round = 1), so its stopping times follow the sequential law too.
   const UndecidedStateDynamics usd(2);
   constexpr int kTrials = 150;
   RunningStats fast_time;
   RunningStats table_time;
+  RunningStats collapsed_time;
   for (int t = 0; t < kTrials; ++t) {
     UsdEngine e({70, 30}, 600 + static_cast<std::uint64_t>(t));
     e.run_until_stable(10'000'000);
@@ -191,9 +218,17 @@ TEST(EngineEquivalenceTest, StabilizationTimesShareDistribution) {
     const RunOutcome out = s.run_until_stable(10'000'000);
     ASSERT_TRUE(out.stabilized);
     table_time.add(static_cast<double>(out.interactions));
+
+    CollapsedSimulator c(usd, Configuration({0, 70, 30}),
+                         900'000 + static_cast<std::uint64_t>(t), {.max_round = 1});
+    const RunOutcome cout_ = c.run_until_stable(10'000'000);
+    ASSERT_TRUE(cout_.stabilized);
+    collapsed_time.add(static_cast<double>(cout_.interactions));
   }
   EXPECT_NEAR(fast_time.mean(), table_time.mean(),
               4.5 * (fast_time.sem() + table_time.sem()));
+  EXPECT_NEAR(fast_time.mean(), collapsed_time.mean(),
+              4.5 * (fast_time.sem() + collapsed_time.sem()));
 }
 
 }  // namespace

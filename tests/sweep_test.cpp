@@ -187,6 +187,46 @@ TEST(SweepRunnerTest, CellDrivesAnyEngineKindWithClampedAccounting) {
   }
 }
 
+TEST(SweepRunnerTest, CollapsedEngineSweepIsThreadCountInvariantByteForByte) {
+  // The billion-agent workflow is a collapsed-engine sweep fanned out over
+  // threads; its unified JSON must stay byte-identical at any thread count,
+  // exactly like the sequential-engine sweeps pinned above.
+  const UndecidedStateDynamics usd(3);
+  const Configuration initial =
+      UndecidedStateDynamics::initial_configuration({500, 300, 200});
+  auto spec_for = [&](unsigned threads) {
+    SweepSpec spec;
+    spec.name = "collapsed_sweep";
+    spec.trials = 6;
+    spec.base_seed = 77;
+    spec.threads = threads;
+    for (const double eps : {0.05, 0.2}) {
+      SweepCell cell;
+      cell.n = 1000;
+      cell.k = 3;
+      cell.engine = EngineKind::kCollapsed;
+      cell.tau_epsilon = eps;
+      spec.cells.push_back(cell);
+    }
+    return spec;
+  };
+  auto trial = [&](const SweepTrial& ctx) {
+    Engine engine = ctx.make_engine(usd, initial);
+    EXPECT_EQ(engine.kind(), EngineKind::kCollapsed);
+    return consensus_metrics(run_engine_trial(engine, 50'000'000));
+  };
+  const SweepResult serial = SweepRunner(spec_for(1)).run(trial);
+  const SweepResult parallel = SweepRunner(spec_for(8)).run(trial);
+  const std::string json = serial.to_json();
+  EXPECT_EQ(json, parallel.to_json());
+  // The report names the engine and carries the collapsed-engine knob.
+  EXPECT_NE(json.find("\"engine\": \"collapsed\""), std::string::npos);
+  EXPECT_NE(json.find("\"tau_epsilon\": 0.2"), std::string::npos);
+  for (const SweepCellResult& cr : serial.cells) {
+    EXPECT_DOUBLE_EQ(cr.rate("stabilized"), 1.0);
+  }
+}
+
 TEST(SweepRunnerTest, TrialExceptionsPropagate) {
   SweepSpec spec;
   spec.name = "boom";
