@@ -47,9 +47,7 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "baselines";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
   for (const Count d : biases) {
     for (const std::string& protocol : protocols) {
       SweepCell cell;

@@ -49,9 +49,9 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "bias_threshold";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
+  // --trials auto pins this bench's headline metric.
+  spec.stopping.metric = "majority_win";
   std::vector<InitialConfig> inits;
   for (const auto& [label, beta] : betas) {
     const auto bias = static_cast<Count>(std::llround(beta * sqrt_n));

@@ -49,9 +49,9 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "fault_tolerance";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
+  // --trials auto pins this bench's headline metric.
+  spec.stopping.metric = "quality_at_horizon";
   for (const double rate : {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2}) {
     SweepCell cell;
     cell.n = n;

@@ -67,9 +67,7 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "fig1_left";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
   SweepCell cell;
   cell.n = n;
   cell.k = k;

@@ -51,9 +51,9 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "gossip_compare";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
+  // --trials auto pins this bench's headline metric.
+  spec.stopping.metric = "pop_parallel_time";
   std::vector<InitialConfig> inits;
   for (std::int64_t k = kmin; k <= kmax; k *= 2) {
     const auto ku = static_cast<std::size_t>(k);

@@ -77,9 +77,7 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "graph_topology";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
   for (std::size_t i = 0; i < graphs.size(); ++i) {
     SweepCell cell;
     cell.n = n;

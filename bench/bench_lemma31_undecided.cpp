@@ -54,9 +54,9 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "lemma31_undecided";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
+  // --trials auto pins this bench's headline metric.
+  spec.stopping.metric = "max_undecided";
   std::vector<InitialConfig> inits;
   std::vector<UndecidedStateDynamics> protocols;
   std::vector<Configuration> initials;

@@ -49,9 +49,9 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "lemma32_walks";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
+  // --trials auto pins this bench's headline metric.
+  spec.stopping.metric = "empirical_escape";
   for (const Config& cfg : configs) {
     const auto steps =
         static_cast<std::int64_t>(static_cast<double>(cfg.level) / (2.0 * cfg.q));

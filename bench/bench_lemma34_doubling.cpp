@@ -51,9 +51,9 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "lemma34_doubling";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
+  // --trials auto pins this bench's headline metric.
+  spec.stopping.metric = "hit";
   std::vector<InitialConfig> inits;
   std::vector<UndecidedStateDynamics> protocols;
   std::vector<Configuration> initials;

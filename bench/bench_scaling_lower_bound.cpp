@@ -63,9 +63,7 @@ int run(int argc, char** argv) {
 
   SweepSpec spec;
   spec.name = "scaling_lower_bound";
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
   std::vector<InitialConfig> inits;
   std::vector<UndecidedStateDynamics> protocols;
   std::vector<Configuration> initials;

@@ -95,15 +95,16 @@ void print_cell(const SweepCellResult& cr) {
 }
 
 /// Runs a one-cell sweep over the shared flags and prints the aggregate.
+/// `stopping_metric` overrides the --trials auto target for protocols whose
+/// trials report rounds instead of parallel time.
 SweepCellResult run_one_cell(const std::string& name, SweepCell cell,
-                             const SweepCliOptions& opts,
-                             const SweepTrialFn& fn) {
+                             const SweepCliOptions& opts, const SweepTrialFn& fn,
+                             const std::string& stopping_metric = "") {
   SweepSpec spec;
   spec.name = name;
   spec.cells.push_back(std::move(cell));
-  spec.trials = opts.trials;
-  spec.base_seed = opts.seed;
-  spec.threads = opts.threads;
+  opts.configure(spec);
+  if (!stopping_metric.empty()) spec.stopping.metric = stopping_metric;
   SweepResult result = SweepRunner(spec).run(fn);
   result.write_json(opts.json);
   print_cell(result.cells[0]);
@@ -276,7 +277,8 @@ int run(int argc, char** argv) {
             m.emplace_back("rounds", static_cast<double>(out.rounds));
           }
           return m;
-        });
+        },
+        "rounds");
     std::cout << "mean rounds " << format_double(cr.mean("rounds"), 1) << "\n";
     return 0;
   }
@@ -293,7 +295,8 @@ int run(int argc, char** argv) {
             m.emplace_back("rounds", static_cast<double>(engine.rounds()));
           }
           return m;
-        });
+        },
+        "rounds");
     std::cout << "mean rounds " << format_double(cr.mean("rounds"), 1) << "\n";
     return 0;
   }

@@ -1,0 +1,102 @@
+#include "ppsim/analysis/streaming_ci.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+double normal_quantile(double p) {
+  PPSIM_CHECK(p > 0.0 && p < 1.0, "normal_quantile needs p in (0, 1)");
+  // Acklam's algorithm: rational approximations on a central region and two
+  // tails, with the breakpoints at p = 0.02425.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double student_t_quantile(double p, std::int64_t dof) {
+  PPSIM_CHECK(p > 0.0 && p < 1.0, "student_t_quantile needs p in (0, 1)");
+  PPSIM_CHECK(dof >= 1, "student_t_quantile needs dof >= 1");
+  if (dof == 1) {
+    // Cauchy: F^-1(p) = tan(pi (p - 1/2)).
+    constexpr double kPi = 3.14159265358979323846;
+    return std::tan(kPi * (p - 0.5));
+  }
+  if (dof == 2) {
+    // Exact: t = alpha * sqrt(2 / (1 - alpha^2)) with alpha = 2p - 1.
+    const double alpha = 2.0 * p - 1.0;
+    return alpha * std::sqrt(2.0 / (1.0 - alpha * alpha));
+  }
+  // Cornish–Fisher expansion of the t quantile around the normal quantile
+  // (Abramowitz & Stegun 26.7.5), in powers of 1/dof.
+  const double z = normal_quantile(p);
+  const double v = static_cast<double>(dof);
+  const double z2 = z * z;
+  const double g1 = z * (z2 + 1.0) / 4.0;
+  const double g2 = z * ((5.0 * z2 + 16.0) * z2 + 3.0) / 96.0;
+  const double g3 = z * (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) / 384.0;
+  const double g4 =
+      z * ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) /
+      92160.0;
+  return z + g1 / v + g2 / (v * v) + g3 / (v * v * v) + g4 / (v * v * v * v);
+}
+
+double CiEstimate::relative_half_width() const noexcept {
+  if (half_width == 0.0) return 0.0;
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return half_width / std::fabs(mean);
+}
+
+CiEstimate mean_ci(const RunningStats& stats, double confidence) {
+  PPSIM_CHECK(confidence > 0.0 && confidence < 1.0,
+              "confidence must be in (0, 1)");
+  CiEstimate est;
+  est.count = stats.count();
+  est.mean = stats.mean();
+  if (stats.count() < 2) {
+    est.half_width = std::numeric_limits<double>::infinity();
+    return est;
+  }
+  const double t =
+      student_t_quantile(0.5 + confidence / 2.0, stats.count() - 1);
+  est.half_width = t * stats.sem();
+  return est;
+}
+
+StreamingCi::StreamingCi(double confidence) : confidence_(confidence) {
+  PPSIM_CHECK(confidence > 0.0 && confidence < 1.0,
+              "confidence must be in (0, 1)");
+}
+
+bool StreamingCi::within_relative_error(double rel_err) const {
+  const CiEstimate est = estimate();
+  if (est.count < 2) return false;
+  return est.relative_half_width() <= rel_err;
+}
+
+}  // namespace ppsim

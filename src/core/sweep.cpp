@@ -5,9 +5,12 @@
 #include <chrono>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "ppsim/analysis/streaming_ci.hpp"
+#include "ppsim/core/task_scheduler.hpp"
 #include "ppsim/util/check.hpp"
 #include "ppsim/util/json.hpp"
 
@@ -151,14 +154,25 @@ std::string SweepResult::to_json() const {
         .field("protocol", cr.cell.protocol)
         .field("round_divisor", cr.cell.round_divisor)
         .field("tau_epsilon", cr.cell.tau_epsilon)
+        .field("trials_requested", static_cast<std::int64_t>(cr.trials_requested))
+        .field("trials_run", static_cast<std::int64_t>(cr.trials_run))
         .field("params", params)
         .field("metrics", metric_objects);
     cell_objects.push_back(c);
+  }
+  JsonObject stopping_obj;
+  stopping_obj.field("mode", stopping.adaptive ? "auto" : "fixed");
+  if (stopping.adaptive) {
+    stopping_obj.field("rel_err", stopping.rel_err)
+        .field("confidence", stopping.confidence)
+        .field("min_trials", static_cast<std::int64_t>(stopping.min_trials))
+        .field("metric", stopping.metric);
   }
   JsonObject report;
   report.field("sweep", name)
       .field("trials_per_cell", static_cast<std::int64_t>(trials))
       .field("base_seed", static_cast<std::int64_t>(base_seed))
+      .field("stopping", stopping_obj)
       .field("seeding", "xoshiro256pp stream(cell * trials + trial)")
       .field("cells", cell_objects);
   return report.str();
@@ -176,72 +190,67 @@ SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
   PPSIM_CHECK(spec_.trials > 0, "sweep needs at least one trial per cell");
 }
 
+unsigned SweepRunner::resolved_threads(const SweepSpec& spec) noexcept {
+  // Clamp against the *initial* work-item bound cells x spec.trials (i.e.
+  // cells x max_trials under adaptive stopping). The bound must not track
+  // the dynamic adaptive work count: waves start at min_trials and may never
+  // grow, but idle workers are cheap, whereas a schedule-dependent resolved
+  // thread count would leak stopping decisions into a reported field.
+  const std::size_t item_bound =
+      std::max<std::size_t>(1, spec.cells.size() * spec.trials);
+  unsigned threads =
+      spec.threads == 0 ? std::thread::hardware_concurrency() : spec.threads;
+  return std::max(1u, std::min<unsigned>(
+                          threads, static_cast<unsigned>(std::min<std::size_t>(
+                                       item_bound, 1u << 16))));
+}
+
 SweepResult SweepRunner::run(const SweepTrialFn& fn) const {
   PPSIM_CHECK(static_cast<bool>(fn), "sweep trial function must be callable");
+  const TrialStopping& stopping = spec_.stopping;
+  if (stopping.adaptive) {
+    PPSIM_CHECK(spec_.scheduler == SweepSchedulerKind::kWorkStealing,
+                "the static pool cannot run adaptive stopping (fixed work "
+                "range); use the work-stealing scheduler");
+    PPSIM_CHECK(stopping.min_trials >= 2,
+                "adaptive stopping needs min_trials >= 2 (a CI needs two "
+                "observations)");
+    PPSIM_CHECK(stopping.rel_err > 0.0, "adaptive rel_err must be positive");
+    PPSIM_CHECK(stopping.confidence > 0.0 && stopping.confidence < 1.0,
+                "adaptive confidence must be in (0, 1)");
+    PPSIM_CHECK(!stopping.metric.empty(), "adaptive stopping needs a metric");
+  }
+
   const std::size_t num_cells = spec_.cells.size();
   const std::size_t trials = spec_.trials;
-  const std::size_t total = num_cells * trials;
 
   SweepResult result;
   result.name = spec_.name;
   result.trials = trials;
   result.base_seed = spec_.base_seed;
+  result.stopping = stopping;
+  result.threads = resolved_threads(spec_);
   result.cells.resize(num_cells);
   for (std::size_t c = 0; c < num_cells; ++c) {
     result.cells[c].cell = spec_.cells[c];
     result.cells[c].cell_index = c;
+    result.cells[c].trials_requested = trials;
+    // Pre-sized per-slot storage: every (cell, trial) task writes only its
+    // own slot, so schedule order can never leak into the result.
     result.cells[c].trials.resize(trials);
   }
-
-  unsigned threads =
-      spec_.threads == 0 ? std::thread::hardware_concurrency() : spec_.threads;
-  threads = std::max(1u, std::min<unsigned>(
-                             threads, static_cast<unsigned>(std::min<std::size_t>(
-                                          total, 1u << 16))));
-  result.threads = threads;
-  if (total == 0) return result;
+  if (num_cells == 0) return result;
 
   const auto start = std::chrono::steady_clock::now();
 
-  // One work item per (cell, trial); items are claimed dynamically but each
-  // writes only its own slot, so the result is scheduling-independent.
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
-      if (item >= total) return;
-      const std::size_t c = item / trials;
-      const std::size_t t = item % trials;
-      try {
-        const std::uint64_t index = stream_index(c, trials, t);
-        Xoshiro256pp rng = trial_stream(spec_.base_seed, index);
-        const std::uint64_t seed = rng();
-        const SweepTrial ctx{spec_.cells[c], c, t, index, seed, rng};
-        result.cells[c].trials[t] = fn(ctx);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        next.store(total, std::memory_order_relaxed);  // drain the queue
-        return;
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::jthread> pool;
-    pool.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-    pool.clear();  // joins
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  result = spec_.scheduler == SweepSchedulerKind::kStaticPool
+               ? run_static_pool(fn, std::move(result))
+               : run_work_stealing(fn, std::move(result));
 
   // Aggregate sequentially (cheap relative to the trials, and sequential
   // aggregation keeps metric order = first-occurrence order deterministic).
   for (SweepCellResult& cr : result.cells) {
+    cr.trials.resize(cr.trials_run);  // drop never-run adaptive slots
     std::vector<std::string> order;
     for (const SweepMetrics& trial : cr.trials) {
       for (const auto& [metric, value] : trial) {
@@ -270,6 +279,167 @@ SweepResult SweepRunner::run(const SweepTrialFn& fn) const {
   return result;
 }
 
+SweepResult SweepRunner::run_static_pool(const SweepTrialFn& fn,
+                                         SweepResult result) const {
+  // The pre-scheduler baseline: a fixed pool walking one shared atomic
+  // counter over the cell-major (cell, trial) range. Kept for measured
+  // comparisons (bench_throughput --mixed-grid) and as a differential
+  // oracle: its output must match the work-stealing path byte for byte.
+  const std::size_t num_cells = spec_.cells.size();
+  const std::size_t trials = spec_.trials;
+  const std::size_t total = num_cells * trials;
+  for (SweepCellResult& cr : result.cells) cr.trials_run = trials;
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
+      if (item >= total) return;
+      const std::size_t c = item / trials;
+      const std::size_t t = item % trials;
+      try {
+        const std::uint64_t index = stream_index(c, trials, t);
+        Xoshiro256pp rng = trial_stream(spec_.base_seed, index);
+        const std::uint64_t seed = rng();
+        const SweepTrial ctx{spec_.cells[c], c, t, index, seed, rng};
+        result.cells[c].trials[t] = fn(ctx);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(total, std::memory_order_relaxed);  // drain the queue
+        return;
+      }
+    }
+  };
+
+  if (result.threads == 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(result.threads);
+    for (unsigned i = 0; i < result.threads; ++i) pool.emplace_back(worker);
+    pool.clear();  // joins
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
+                                           SweepResult result) const {
+  const std::size_t num_cells = spec_.cells.size();
+  const std::size_t cap = spec_.trials;
+  const TrialStopping& stopping = spec_.stopping;
+  const std::size_t first_wave =
+      stopping.adaptive ? std::min(stopping.min_trials, cap) : cap;
+
+  // Per-cell adaptive state. `outstanding` is the only field touched by
+  // concurrent trial tasks; everything else is owned by the wave controller,
+  // which runs exclusively (the counter reaches zero exactly once per wave,
+  // and the next wave's counter is set before any of its tasks exist).
+  struct CellControl {
+    std::atomic<std::size_t> outstanding{0};
+    std::size_t scheduled = 0;  ///< trials submitted so far
+    std::size_t consumed = 0;   ///< trials folded into the streaming CI
+    std::unique_ptr<StreamingCi> ci;
+  };
+  std::vector<CellControl> control(num_cells);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> cancelled{false};
+
+  TaskScheduler scheduler(result.threads);
+
+  std::function<void(std::size_t)> wave_complete;
+
+  // One (cell, trial) task: run the trial into its pre-sized slot, then
+  // decrement the cell's wave counter. The wave's last decrement (acq_rel)
+  // acquires every slot write the wave made, so the controller running in
+  // wave_complete reads settled data.
+  auto trial_task = [&](std::size_t c, std::size_t t) {
+    return [&, c, t] {
+      if (!cancelled.load(std::memory_order_acquire)) {
+        try {
+          const std::uint64_t index = stream_index(c, cap, t);
+          Xoshiro256pp rng = trial_stream(spec_.base_seed, index);
+          const std::uint64_t seed = rng();
+          const SweepTrial ctx{spec_.cells[c], c, t, index, seed, rng};
+          result.cells[c].trials[t] = fn(ctx);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_release);
+        }
+      }
+      if (control[c].outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        wave_complete(c);
+      }
+    };
+  };
+
+  auto submit_wave = [&](std::size_t c, std::size_t from, std::size_t to) {
+    CellControl& cc = control[c];
+    cc.outstanding.store(to - from, std::memory_order_relaxed);
+    cc.scheduled = to;
+    for (std::size_t t = from; t < to; ++t) {
+      scheduler.submit(trial_task(c, t));
+    }
+  };
+
+  wave_complete = [&](std::size_t c) {
+    CellControl& cc = control[c];
+    SweepCellResult& cr = result.cells[c];
+    if (!stopping.adaptive || cancelled.load(std::memory_order_acquire)) {
+      cr.trials_run = cc.scheduled;
+      return;
+    }
+    // Fold the newly completed prefix into the streaming CI in trial-index
+    // order. The stopping decision therefore depends only on (base_seed,
+    // cell, wave sizes) — never on which worker finished first.
+    for (std::size_t t = cc.consumed; t < cc.scheduled; ++t) {
+      for (const auto& [name_, value] : cr.trials[t]) {
+        if (name_ == stopping.metric) {
+          cc.ci->add(value);
+          break;
+        }
+      }
+    }
+    cc.consumed = cc.scheduled;
+    const bool metric_unobserved = cc.ci->count() == 0;
+    if (cc.scheduled >= cap || metric_unobserved ||
+        cc.ci->within_relative_error(stopping.rel_err)) {
+      cr.trials_run = cc.scheduled;
+      return;
+    }
+    submit_wave(c, cc.scheduled, std::min(cap, cc.scheduled * 2));
+  };
+
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    if (stopping.adaptive) {
+      control[c].ci = std::make_unique<StreamingCi>(stopping.confidence);
+    }
+    control[c].outstanding.store(first_wave, std::memory_order_relaxed);
+    control[c].scheduled = first_wave;
+  }
+  // Interleave the initial submission by trial index across cells (trial 0
+  // of every cell, then trial 1, ...): expensive cells start on the first
+  // scheduling round instead of queueing behind every earlier cell's full
+  // trial range — the convoy the static pool's cell-major order suffers.
+  for (std::size_t t = 0; t < first_wave; ++t) {
+    for (std::size_t c = 0; c < num_cells; ++c) {
+      scheduler.submit(trial_task(c, t));
+    }
+  }
+  scheduler.wait_idle();
+  result.scheduler_stats = scheduler.stats();
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
 SweepMetrics consensus_metrics(const TrialResult& r) {
   return {
       {"stabilized", r.stabilized ? 1.0 : 0.0},
@@ -282,17 +452,62 @@ SweepMetrics consensus_metrics(const TrialResult& r) {
   };
 }
 
+void SweepCliOptions::configure(SweepSpec& spec) const {
+  spec.trials = trials;
+  spec.base_seed = seed;
+  spec.threads = threads;
+  spec.stopping = stopping;
+}
+
 SweepCliOptions read_sweep_flags(Cli& cli, std::size_t default_trials,
                                  std::uint64_t default_seed,
                                  const std::string& default_json) {
   SweepCliOptions opts;
-  opts.trials = static_cast<std::size_t>(
-      cli.get_int("trials", static_cast<std::int64_t>(default_trials)));
+  const std::string trials_flag =
+      cli.get_string("trials", std::to_string(default_trials));
+  const auto min_trials =
+      static_cast<std::size_t>(cli.get_int("min-trials", 8));
+  const auto max_trials =
+      static_cast<std::size_t>(cli.get_int("max-trials", 512));
+  if (trials_flag == "auto" || trials_flag.rfind("auto:", 0) == 0) {
+    opts.stopping.adaptive = true;
+    if (trials_flag.size() > 4) {
+      const std::string rel = trials_flag.substr(5);
+      std::size_t consumed = 0;
+      double rel_err = 0.0;
+      try {
+        rel_err = std::stod(rel, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      PPSIM_CHECK(!rel.empty() && consumed == rel.size(),
+                  "--trials auto:REL needs a numeric REL, got '" + rel + "'");
+      opts.stopping.rel_err = rel_err;
+    }
+    PPSIM_CHECK(opts.stopping.rel_err > 0.0, "--trials auto rel_err must be > 0");
+    PPSIM_CHECK(min_trials >= 2, "--min-trials must be at least 2");
+    PPSIM_CHECK(max_trials >= min_trials,
+                "--max-trials must be >= --min-trials");
+    opts.stopping.min_trials = min_trials;
+    opts.trials = max_trials;  // the per-cell cap
+  } else {
+    std::size_t consumed = 0;
+    long long fixed = 0;
+    try {
+      fixed = std::stoll(trials_flag, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    PPSIM_CHECK(!trials_flag.empty() && consumed == trials_flag.size() &&
+                    fixed > 0,
+                "--trials must be a positive count or auto[:rel_err], got '" +
+                    trials_flag + "'");
+    opts.trials = static_cast<std::size_t>(fixed);
+  }
   opts.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(default_seed)));
   opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.json = cli.get_string("json", default_json);
-  PPSIM_CHECK(opts.trials > 0, "--trials must be positive");
   return opts;
 }
 

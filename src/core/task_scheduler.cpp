@@ -1,0 +1,183 @@
+#include "ppsim/core/task_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+namespace {
+
+// Identifies the worker a thread belongs to so submit() can route
+// worker-local submissions to the submitter's own deque.
+thread_local TaskScheduler* tls_scheduler = nullptr;
+thread_local std::size_t tls_worker_index = 0;
+
+std::uint64_t xorshift64(std::uint64_t& s) noexcept {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+}  // namespace
+
+TaskScheduler::TaskScheduler(unsigned threads) {
+  const unsigned count = std::max(1u, threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    auto w = std::make_unique<Worker>();
+    // Any nonzero, distinct seeds work: victim order only affects timing.
+    w->victim_rng = 0x9e3779b97f4a7c15ull ^ (i + 1);
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  wait_idle();
+  stop_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(park_mutex_);
+    work_cv_.notify_all();
+  }
+  threads_.clear();  // joins
+}
+
+void TaskScheduler::submit(Task task) {
+  PPSIM_CHECK(static_cast<bool>(task), "cannot submit an empty task");
+  std::size_t target;
+  if (tls_scheduler == this) {
+    target = tls_worker_index;  // worker-local: stay on the submitter's deque
+  } else {
+    target = round_robin_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(park_mutex_);
+    work_cv_.notify_all();
+  }
+}
+
+void TaskScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(park_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const {
+  Stats total;
+  for (const auto& w : workers_) {
+    const std::lock_guard<std::mutex> lock(w->mutex);
+    total.executed += w->executed;
+    total.steals += w->steals;
+    total.stolen_tasks += w->stolen_tasks;
+  }
+  return total;
+}
+
+bool TaskScheduler::try_pop_own(std::size_t self, Task& task) {
+  Worker& w = *workers_[self];
+  const std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.queue.empty()) return false;
+  task = std::move(w.queue.back());
+  w.queue.pop_back();
+  return true;
+}
+
+bool TaskScheduler::try_steal(std::size_t self, Task& task) {
+  Worker& me = *workers_[self];
+  const std::size_t count = workers_.size();
+  if (count == 1) return false;
+  // Visit the other workers starting from a random offset, so simultaneous
+  // thieves fan out over different victims.
+  const std::size_t start = xorshift64(me.victim_rng) % count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t victim_index = (start + i) % count;
+    if (victim_index == self) continue;
+    Worker& victim = *workers_[victim_index];
+    std::vector<Task> loot;
+    {
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      const std::size_t available = victim.queue.size();
+      if (available == 0) continue;
+      // Steal-half, oldest first: the front of the deque is the work the
+      // owner would get to last.
+      const std::size_t take = (available + 1) / 2;
+      loot.reserve(take);
+      for (std::size_t j = 0; j < take; ++j) {
+        loot.push_back(std::move(victim.queue.front()));
+        victim.queue.pop_front();
+      }
+    }
+    task = std::move(loot.front());
+    {
+      const std::lock_guard<std::mutex> lock(me.mutex);
+      me.steals += 1;
+      me.stolen_tasks += loot.size();
+      for (std::size_t j = 1; j < loot.size(); ++j) {
+        me.queue.push_back(std::move(loot[j]));
+      }
+    }
+    if (loot.size() > 1) {
+      // The surplus we just re-queued is stealable in turn.
+      const std::lock_guard<std::mutex> lock(park_mutex_);
+      work_cv_.notify_all();
+    }
+    return true;
+  }
+  return false;
+}
+
+void TaskScheduler::worker_loop(std::size_t self) {
+  tls_scheduler = this;
+  tls_worker_index = self;
+  // Bounded spinning before parking: a couple of full victim sweeps covers
+  // the transient where work exists but sits in another deque.
+  constexpr int kSpinRounds = 4;
+  std::chrono::microseconds backoff{128};
+  constexpr std::chrono::microseconds kMaxBackoff{4000};
+  for (;;) {
+    Task task;
+    bool found = try_pop_own(self, task);
+    if (!found) {
+      for (int round = 0; round < kSpinRounds && !found; ++round) {
+        found = try_steal(self, task);
+      }
+    }
+    if (found) {
+      backoff = std::chrono::microseconds{128};
+      task();
+      task = nullptr;  // release captures before accounting
+      {
+        const std::lock_guard<std::mutex> lock(workers_[self]->mutex);
+        workers_[self]->executed += 1;
+      }
+      // Finish AFTER execution: tasks submitted by this task have already
+      // raised pending_, so the count can only reach zero once the whole
+      // transitive frontier is done.
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(park_mutex_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Park with a growing timeout. The timeout (rather than a precise
+    // predicate) bounds the cost of any submit/park race to one backoff
+    // period; submissions also notify work_cv_ eagerly.
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    work_cv_.wait_for(lock, backoff);
+    backoff = std::min(kMaxBackoff, backoff * 2);
+  }
+}
+
+}  // namespace ppsim

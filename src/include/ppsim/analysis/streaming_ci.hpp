@@ -1,0 +1,69 @@
+// Streaming confidence-interval estimation for adaptive trial stopping.
+//
+// The sweep harness's --trials auto mode keeps running trials for a cell
+// until the confidence interval of the target metric's mean is tight enough
+// relative to the mean itself. This header supplies the statistics: a
+// Welford-based streaming accumulator (RunningStats) extended with a
+// Student-t interval, plus the normal and t quantile functions the interval
+// needs. Everything is deterministic closed-form arithmetic — the stopping
+// decision depends only on the multiset of observed values, never on
+// scheduling, which is what keeps adaptive sweeps byte-identical across
+// thread counts.
+#pragma once
+
+#include <cstdint>
+
+#include "ppsim/util/stats.hpp"
+
+namespace ppsim {
+
+/// Inverse standard normal CDF (Acklam's rational approximation, relative
+/// error < 1.15e-9 over (0, 1)). Precondition: 0 < p < 1 (checked).
+double normal_quantile(double p);
+
+/// Student-t quantile with `dof` degrees of freedom. Exact closed forms for
+/// dof 1 and 2; the Cornish–Fisher expansion around the normal quantile for
+/// dof >= 3 (relative error < 1e-4 in the ranges the stopping rule uses).
+/// Precondition: 0 < p < 1 and dof >= 1 (checked).
+double student_t_quantile(double p, std::int64_t dof);
+
+/// A two-sided confidence interval for a mean: mean +/- half_width.
+struct CiEstimate {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double half_width = 0.0;  ///< infinite until two observations exist
+  /// Half-width relative to |mean|: 0 when the interval is degenerate
+  /// (half_width == 0), infinite when mean == 0 but half_width > 0.
+  double relative_half_width() const noexcept;
+};
+
+/// Student-t interval for the mean of the accumulated sample.
+CiEstimate mean_ci(const RunningStats& stats, double confidence);
+
+/// Streaming CI accumulator: Welford moments plus a fixed confidence level,
+/// answering "is the mean pinned to within rel_err yet?" after every batch
+/// of observations. This is the object the sweep's adaptive controller keeps
+/// per cell.
+class StreamingCi {
+ public:
+  /// Confidence in (0, 1), e.g. 0.95. Checked.
+  explicit StreamingCi(double confidence);
+
+  void add(double x) noexcept { stats_.add(x); }
+  std::int64_t count() const noexcept { return stats_.count(); }
+  const RunningStats& stats() const noexcept { return stats_; }
+  double confidence() const noexcept { return confidence_; }
+
+  CiEstimate estimate() const { return mean_ci(stats_, confidence_); }
+
+  /// True once the CI half-width is within rel_err * |mean| (degenerate
+  /// zero-width intervals always satisfy; fewer than two observations never
+  /// do).
+  bool within_relative_error(double rel_err) const;
+
+ private:
+  RunningStats stats_;
+  double confidence_;
+};
+
+}  // namespace ppsim

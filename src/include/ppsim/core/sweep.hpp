@@ -8,11 +8,21 @@
 // trial lambda (one cell, one RNG stream -> named scalar metrics), and the
 // runner owns everything repeatable:
 //
-//   * a fixed-size thread pool fanning (cell, trial) work items out over
-//     --threads workers;
+//   * a work-stealing task scheduler (core/task_scheduler.hpp) fanning
+//     (cell, trial) tasks out over --threads workers — cells complete out of
+//     order, expensive cells start early, and imbalanced grids (n=10^3 cells
+//     next to n=10^11 collapsed cells) no longer convoy behind the
+//     submission order; the previous shared-counter pool survives as
+//     SweepSchedulerKind::kStaticPool, the measured baseline;
 //   * deterministic per-trial randomness: trial (c, t) always draws from
 //     Xoshiro256pp(base_seed).stream(c * trials + t), an O(1) jump-stream
 //     derivation, so results are bitwise identical at any thread count;
+//   * adaptive trial stopping (--trials auto[:rel_err]): trials are issued
+//     in doubling waves, and once the wave-prefix confidence interval of the
+//     target metric's mean is within rel_err the cell stops early. Stopping
+//     decisions are evaluated over deterministic trial-index prefixes, never
+//     over "whatever finished first", so adaptive sweeps keep the same
+//     byte-identical-JSON guarantee as fixed ones;
 //   * per-cell aggregation (count/mean/stddev/min/quantiles/max via
 //     util/stats summarize());
 //   * one unified JSON reporter (SweepResult::to_json) replacing the ad-hoc
@@ -33,6 +43,7 @@
 
 #include "ppsim/core/engine.hpp"
 #include "ppsim/core/runner.hpp"
+#include "ppsim/core/task_scheduler.hpp"
 #include "ppsim/core/types.hpp"
 #include "ppsim/util/cli.hpp"
 #include "ppsim/util/rng.hpp"
@@ -61,13 +72,38 @@ struct SweepCell {
   std::string label() const;
 };
 
+/// Adaptive trial stopping (--trials auto). When `adaptive`, the runner
+/// issues trials for each cell in doubling waves starting at `min_trials`
+/// and stops the cell once the two-sided Student-t confidence interval of
+/// the target metric's mean (over the completed trial-index prefix) has
+/// half-width <= rel_err * |mean| — or once spec.trials (the cap) is
+/// reached. Cells whose trials never report the metric stop at min_trials:
+/// the rule cannot guide them, and silently running to the cap would turn a
+/// typo into a 64x cost overrun.
+struct TrialStopping {
+  bool adaptive = false;
+  double rel_err = 0.05;           ///< target relative CI half-width
+  double confidence = 0.95;        ///< CI confidence level, in (0, 1)
+  std::size_t min_trials = 8;      ///< first wave; also the floor per cell
+  std::string metric = "parallel_time";  ///< metric whose mean is pinned
+};
+
+/// Which execution substrate run() uses. kWorkStealing is the default;
+/// kStaticPool is the pre-scheduler shared-atomic-counter pool, kept as the
+/// measured baseline (bench_throughput --mixed-grid) and as a differential
+/// determinism oracle. The static pool cannot express dynamic work, so it
+/// rejects adaptive stopping.
+enum class SweepSchedulerKind { kWorkStealing, kStaticPool };
+
 /// The declarative sweep: grid x trial count x seeding x parallelism.
 struct SweepSpec {
   std::string name;               ///< bench/experiment name (report header)
   std::vector<SweepCell> cells;
-  std::size_t trials = 1;         ///< trials per cell
+  std::size_t trials = 1;         ///< trials per cell (the cap when adaptive)
   std::uint64_t base_seed = 42;
   unsigned threads = 1;           ///< worker count; 0 = hardware concurrency
+  TrialStopping stopping;         ///< fixed by default
+  SweepSchedulerKind scheduler = SweepSchedulerKind::kWorkStealing;
 };
 
 /// Everything one trial may depend on. `rng` is the trial's private jump
@@ -107,6 +143,9 @@ struct SweepMetricAggregate {
 struct SweepCellResult {
   SweepCell cell;
   std::size_t cell_index = 0;
+  std::size_t trials_requested = 0;  ///< spec.trials (the cap when adaptive)
+  std::size_t trials_run = 0;        ///< trials actually executed (== requested
+                                     ///< for fixed-trial sweeps, always)
   std::vector<SweepMetrics> trials;  ///< per-trial metrics, trial order
   std::vector<SweepMetricAggregate> aggregates;
 
@@ -138,11 +177,15 @@ struct SweepCellResult {
 
 struct SweepResult {
   std::string name;
-  std::size_t trials = 0;
+  std::size_t trials = 0;  ///< spec.trials (the per-cell cap when adaptive)
   std::uint64_t base_seed = 0;
   unsigned threads = 1;  ///< resolved worker count actually used
+  TrialStopping stopping;
   std::vector<SweepCellResult> cells;
   double wall_seconds = 0.0;  ///< whole-sweep wall clock (not in the JSON)
+  /// Work-stealing execution counters (zero under the static pool). Like
+  /// wall_seconds these are timing-dependent, so they stay out of the JSON.
+  TaskScheduler::Stats scheduler_stats;
 
   /// Unified report: spec header, then one entry per cell with the cell's
   /// axes/params, per-metric aggregates and raw per-trial values. Does NOT
@@ -173,23 +216,45 @@ class SweepRunner {
     return Xoshiro256pp(base_seed).stream(index);
   }
 
-  /// Runs trials x cells over the pool and aggregates. Work items are
-  /// claimed dynamically but write only their own result slot, so the
-  /// outcome is independent of scheduling.
+  /// Worker count actually used: spec.threads (0 = hardware concurrency)
+  /// clamped against the *initial* work-item bound cells x spec.trials —
+  /// i.e. cells x max_trials when stopping is adaptive. The clamp must not
+  /// track the dynamic adaptive work count (waves start at min_trials):
+  /// extra workers idle cheaply, while re-clamping per wave would make the
+  /// resolved thread count — a reported field — depend on stopping decisions.
+  static unsigned resolved_threads(const SweepSpec& spec) noexcept;
+
+  /// Runs trials x cells over the scheduler and aggregates. Every task
+  /// writes only its own pre-sized result slot and stopping decisions are
+  /// evaluated over deterministic trial-index prefixes, so the outcome is
+  /// independent of scheduling — byte-identical JSON at any --threads, for
+  /// fixed and adaptive trial counts alike.
   SweepResult run(const SweepTrialFn& fn) const;
 
  private:
+  SweepResult run_static_pool(const SweepTrialFn& fn, SweepResult result) const;
+  SweepResult run_work_stealing(const SweepTrialFn& fn, SweepResult result) const;
+
   SweepSpec spec_;
 };
 
 /// The shared sweep-facing CLI surface, so every bench spells the common
-/// flags identically: --trials, --seed, --threads (0 = hardware), --json
-/// (unified report path; empty disables).
+/// flags identically: --trials (a count, or auto[:rel_err] for adaptive
+/// stopping), --min-trials / --max-trials (adaptive wave floor and cap),
+/// --seed, --threads (0 = hardware), --json (unified report path; empty
+/// disables).
 struct SweepCliOptions {
-  std::size_t trials = 1;
+  std::size_t trials = 1;  ///< fixed count, or the cap when stopping.adaptive
   std::uint64_t seed = 42;
   unsigned threads = 1;
   std::string json;
+  TrialStopping stopping;
+
+  /// Applies the shared flags to a spec (trials/base_seed/threads/stopping),
+  /// leaving name/cells/scheduler to the bench. Benches may override
+  /// spec.stopping.metric afterwards to aim --trials auto at their own
+  /// headline metric.
+  void configure(SweepSpec& spec) const;
 };
 
 SweepCliOptions read_sweep_flags(Cli& cli, std::size_t default_trials,

@@ -29,6 +29,9 @@ class JsonObject {
   JsonObject& field(const std::string& key, const JsonObject& value);
   JsonObject& field(const std::string& key, const std::vector<JsonObject>& items);
   JsonObject& field(const std::string& key, const std::vector<double>& items);
+  /// Embeds an already-rendered JSON value verbatim (e.g. a nested
+  /// SweepResult::to_json() report). The caller owns its validity.
+  JsonObject& field_json(const std::string& key, const std::string& rendered_json);
 
   std::string str() const { return "{" + body_ + "}"; }
 

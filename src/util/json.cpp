@@ -78,6 +78,11 @@ JsonObject& JsonObject::field(const std::string& key,
   return raw(key, out + "]");
 }
 
+JsonObject& JsonObject::field_json(const std::string& key,
+                                   const std::string& rendered_json) {
+  return raw(key, rendered_json);
+}
+
 void JsonObject::write_file(const std::string& path) const {
   std::ofstream out(path);
   PPSIM_CHECK(out.good(), "cannot open json output file " + path);

@@ -265,6 +265,111 @@ TEST(SweepRunnerTest, EmptyCellListProducesEmptyResult) {
   EXPECT_NE(result.to_json().find("\"cells\": []"), std::string::npos);
 }
 
+TEST(SweepRunnerTest, ResolvedThreadsClampsToInitialWorkItemCount) {
+  // Regression: the clamp used to compare against cells.size() alone, so a
+  // 1-cell grid with many trials was forced down to one worker no matter
+  // what --threads asked for. The bound is the initial work-item count
+  // cells x trials.
+  SweepSpec spec;
+  spec.name = "clamp";
+  spec.trials = 3;
+  spec.threads = 64;
+  spec.cells.resize(1);
+  EXPECT_EQ(SweepRunner::resolved_threads(spec), 3u);
+  const auto seed_trial = [](const SweepTrial& ctx) {
+    return SweepMetrics{{"seed", static_cast<double>(ctx.seed >> 11)}};
+  };
+  const SweepResult wide = SweepRunner(spec).run(seed_trial);
+  EXPECT_EQ(wide.threads, 3u);
+  // And the clamped run still reproduces the serial bytes exactly.
+  SweepSpec serial_spec = spec;
+  serial_spec.threads = 1;
+  const SweepResult serial = SweepRunner(serial_spec).run(seed_trial);
+  EXPECT_EQ(serial.to_json(), wide.to_json());
+}
+
+TEST(SweepRunnerTest, FixedTrialRunsReportRequestedEqualsRun) {
+  // Satellite contract: the report distinguishes trials_requested from
+  // trials_run, and for fixed-trial sweeps the two are always equal.
+  const SweepResult result = SweepRunner(small_usd_spec(4)).run(usd_trial);
+  for (const SweepCellResult& cr : result.cells) {
+    EXPECT_EQ(cr.trials_requested, 6u);
+    EXPECT_EQ(cr.trials_run, 6u);
+    EXPECT_EQ(cr.trials.size(), 6u);
+  }
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"trials_requested\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"trials_run\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"fixed\""), std::string::npos);
+}
+
+TEST(SweepRunnerTest, StaticPoolMatchesWorkStealingByteForByte) {
+  // The legacy static pool is kept as a differential oracle: same spec, same
+  // seeds, different execution substrate, identical bytes.
+  SweepSpec ws = small_usd_spec(4);
+  SweepSpec pool = small_usd_spec(4);
+  pool.scheduler = SweepSchedulerKind::kStaticPool;
+  const SweepResult a = SweepRunner(ws).run(usd_trial);
+  const SweepResult b = SweepRunner(pool).run(usd_trial);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+SweepSpec adaptive_usd_spec(unsigned threads) {
+  SweepSpec spec = small_usd_spec(threads);
+  spec.trials = 32;  // the cap
+  spec.stopping.adaptive = true;
+  spec.stopping.rel_err = 0.15;
+  spec.stopping.min_trials = 4;
+  spec.stopping.metric = "parallel_time";
+  return spec;
+}
+
+TEST(SweepRunnerTest, AdaptiveSweepJsonIsThreadCountInvariant) {
+  // The tentpole guarantee extended to --trials auto: stopping decisions are
+  // evaluated over deterministic trial-index prefixes, so adaptive sweeps
+  // serialize byte-identically at any thread count too.
+  const SweepResult serial = SweepRunner(adaptive_usd_spec(1)).run(usd_trial);
+  const SweepResult parallel = SweepRunner(adaptive_usd_spec(8)).run(usd_trial);
+  const std::string json = serial.to_json();
+  EXPECT_EQ(json, parallel.to_json());
+  EXPECT_NE(json.find("\"mode\": \"auto\""), std::string::npos);
+  EXPECT_NE(json.find("\"rel_err\": 0.15"), std::string::npos);
+  for (const SweepCellResult& cr : serial.cells) {
+    EXPECT_EQ(cr.trials_requested, 32u);
+    EXPECT_GE(cr.trials_run, 4u);
+    EXPECT_LE(cr.trials_run, 32u);
+    EXPECT_EQ(cr.trials.size(), cr.trials_run);
+  }
+}
+
+TEST(SweepRunnerTest, AdaptiveStoppingValidatesItsParameters) {
+  auto adaptive = [] {
+    SweepSpec spec;
+    spec.name = "bad";
+    spec.trials = 8;
+    spec.cells.resize(1);
+    spec.stopping.adaptive = true;
+    return spec;
+  };
+  const auto noop = [](const SweepTrial&) -> SweepMetrics { return {}; };
+  SweepSpec rel = adaptive();
+  rel.stopping.rel_err = 0.0;
+  EXPECT_THROW(SweepRunner(std::move(rel)).run(noop), CheckFailure);
+  SweepSpec conf = adaptive();
+  conf.stopping.confidence = 1.0;
+  EXPECT_THROW(SweepRunner(std::move(conf)).run(noop), CheckFailure);
+  SweepSpec floor = adaptive();
+  floor.stopping.min_trials = 1;
+  EXPECT_THROW(SweepRunner(std::move(floor)).run(noop), CheckFailure);
+  SweepSpec metric = adaptive();
+  metric.stopping.metric.clear();
+  EXPECT_THROW(SweepRunner(std::move(metric)).run(noop), CheckFailure);
+  // The static pool cannot express dynamic work; adaptive mode rejects it.
+  SweepSpec pool = adaptive();
+  pool.scheduler = SweepSchedulerKind::kStaticPool;
+  EXPECT_THROW(SweepRunner(std::move(pool)).run(noop), CheckFailure);
+}
+
 TEST(SweepCellTest, ParamLookupAndLabel) {
   SweepCell cell;
   cell.n = 100;

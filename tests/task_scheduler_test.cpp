@@ -1,0 +1,164 @@
+// TaskScheduler: completion of static and dynamically-submitted work,
+// wait_idle() semantics across rounds, steal activity under deliberately
+// imbalanced submission, oversubscription, and destructor draining. The
+// scheduler makes no ordering promises, so every assertion is about *what*
+// ran, never about *when* — each task writes its own slot or bumps an
+// atomic.
+#include "ppsim/core/task_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace ppsim {
+namespace {
+
+TEST(TaskSchedulerTest, ExecutesEverySubmittedTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  {
+    TaskScheduler scheduler(4);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      scheduler.submit([&hits, i] { hits[i].fetch_add(1); });
+    }
+    scheduler.wait_idle();
+    EXPECT_EQ(scheduler.stats().executed, kTasks);
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(TaskSchedulerTest, WaitIdleCoversTasksSubmittedByRunningTasks) {
+  // The adaptive-stopping controller submits follow-up waves from inside a
+  // completing task; wait_idle() must block until the transitive frontier is
+  // empty, not just the initially submitted tasks.
+  std::atomic<int> executed{0};
+  TaskScheduler scheduler(4);
+  // Each root task spawns two children, each child one grandchild:
+  // 8 roots -> 16 children -> 16 grandchildren = 40 tasks.
+  for (int root = 0; root < 8; ++root) {
+    scheduler.submit([&scheduler, &executed] {
+      executed.fetch_add(1);
+      for (int child = 0; child < 2; ++child) {
+        scheduler.submit([&scheduler, &executed] {
+          executed.fetch_add(1);
+          scheduler.submit([&executed] { executed.fetch_add(1); });
+        });
+      }
+    });
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(executed.load(), 8 + 16 + 16);
+  EXPECT_EQ(scheduler.stats().executed, 40u);
+}
+
+TEST(TaskSchedulerTest, SchedulerIsReusableAcrossWaitIdleRounds) {
+  TaskScheduler scheduler(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      scheduler.submit([&count] { count.fetch_add(1); });
+    }
+    scheduler.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 50) << "round " << round;
+  }
+  EXPECT_EQ(scheduler.stats().executed, 250u);
+}
+
+TEST(TaskSchedulerTest, WaitIdleWithNoWorkReturnsImmediately) {
+  TaskScheduler scheduler(4);
+  scheduler.wait_idle();  // must not hang
+  scheduler.wait_idle();  // idempotent
+  EXPECT_EQ(scheduler.stats().executed, 0u);
+}
+
+TEST(TaskSchedulerTest, SingleWorkerRunsEverything) {
+  TaskScheduler scheduler(1);
+  EXPECT_EQ(scheduler.thread_count(), 1u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    scheduler.submit([&count, &scheduler] {
+      if (count.fetch_add(1) == 0) {
+        // Worker-local submission from the only worker.
+        scheduler.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(count.load(), 201);
+  EXPECT_EQ(scheduler.stats().steals, 0u);  // nobody to steal from
+}
+
+TEST(TaskSchedulerTest, ImbalancedSubmissionTriggersStealing) {
+  // All roots funnel their children onto one worker's deque (worker-local
+  // submission); with several workers and enough child work the other
+  // workers must acquire it by stealing. Spin work makes each task long
+  // enough that the queue cannot drain before thieves look.
+  TaskScheduler scheduler(4);
+  std::atomic<std::uint64_t> sink{0};
+  std::atomic<int> executed{0};
+  scheduler.submit([&] {
+    for (int i = 0; i < 512; ++i) {
+      scheduler.submit([&] {
+        std::uint64_t x = 88172645463325252ull;
+        for (int spin = 0; spin < 20'000; ++spin) {
+          x ^= x << 13;
+          x ^= x >> 7;
+          x ^= x << 17;
+        }
+        sink.fetch_add(x, std::memory_order_relaxed);
+        executed.fetch_add(1);
+      });
+    }
+  });
+  scheduler.wait_idle();
+  EXPECT_EQ(executed.load(), 512);
+  const TaskScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.executed, 513u);
+  if (scheduler.thread_count() > 1) {
+    EXPECT_GT(stats.steals, 0u);
+    EXPECT_GE(stats.stolen_tasks, stats.steals);
+  }
+}
+
+TEST(TaskSchedulerTest, OversubscribedWorkerCountStillCompletes) {
+  // 64 workers on a small host: most park immediately; correctness must not
+  // depend on workers outnumbering (or matching) the hardware.
+  TaskScheduler scheduler(64);
+  EXPECT_EQ(scheduler.thread_count(), 64u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) {
+    scheduler.submit([&count] { count.fetch_add(1); });
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(TaskSchedulerTest, DestructorDrainsPendingTasks) {
+  // Destroying the scheduler implies wait_idle(): tasks submitted but not
+  // yet run still execute before the workers join.
+  std::atomic<int> count{0};
+  {
+    TaskScheduler scheduler(2);
+    for (int i = 0; i < 300; ++i) {
+      scheduler.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle() on purpose.
+  }
+  EXPECT_EQ(count.load(), 300);
+}
+
+TEST(TaskSchedulerTest, ZeroThreadRequestIsClampedToOne) {
+  TaskScheduler scheduler(0);
+  EXPECT_EQ(scheduler.thread_count(), 1u);
+  std::atomic<int> count{0};
+  scheduler.submit([&count] { count.fetch_add(1); });
+  scheduler.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -39,6 +39,10 @@ SMOKE_OVERRIDES = {
 # Binaries whose model limits need smaller smoke sizes than the default.
 PER_BINARY_OVERRIDES = {
     "bench_graph_topology": {"n": "2000"},  # explicit clique capped at 4096
+    # --mixed-grid sizes: the documented imbalanced grid is deliberately
+    # expensive; shrink both cell classes for the smoke run.
+    "bench_throughput": {"small-n": "5000", "large-n": "1000000",
+                         "small-cells": "3"},
 }
 PER_COMMAND_TIMEOUT = 180  # seconds
 
@@ -102,7 +106,7 @@ def registered_flags(binary: str, root: pathlib.Path):
     text = source.read_text()
     flags = set(FLAG_REGISTRATION_RE.findall(text))
     if "read_sweep_flags" in text:
-        flags |= {"trials", "seed", "threads", "json"}
+        flags |= {"trials", "min-trials", "max-trials", "seed", "threads", "json"}
     return flags
 
 
