@@ -20,6 +20,7 @@
 //        n = 10^9-10^11 sweeps tractable; see docs/REPRODUCING.md),
 //        --round-divisor, --tau-epsilon, --json (empty disables the report).
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/analysis/scaling.hpp"
 #include "ppsim/core/sweep.hpp"
+#include "ppsim/io/archive_run.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/check.hpp"
 #include "ppsim/util/cli.hpp"
@@ -85,9 +87,36 @@ int run(int argc, char** argv) {
   }
 
   const Interactions budget = sat_mul(100000, n);
+  if (!opts.record_to.empty()) {
+    std::filesystem::create_directories(opts.record_to);
+  }
   auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
     TrialResult r;
-    if (ctx.cell.engine != EngineKind::kSequential) {
+    if (!opts.record_to.empty() && ctx.trial == 0 &&
+        ctx.cell.engine != EngineKind::kSequential) {
+      // Archive cell trial 0. record_run builds the engine with the exact
+      // draw make_engine would take (one ctx.rng() call), so the recorded
+      // trial's metrics are bit-identical to the unrecorded ones.
+      io::ArchiveRunSpec rspec;
+      rspec.engine = ctx.cell.engine;
+      rspec.protocol_name = "usd";
+      rspec.seed = ctx.rng();
+      rspec.k = static_cast<Count>(ctx.cell.k);
+      rspec.max_interactions = budget;
+      rspec.checkpoint_every = opts.checkpoint_every;
+      rspec.round_divisor = ctx.cell.round_divisor;
+      rspec.tau_epsilon = ctx.cell.tau_epsilon;
+      const std::string path =
+          opts.record_to + "/scaling_k" + std::to_string(ctx.cell.k) + ".pptraj";
+      const RunOutcome out =
+          io::record_run(protocols[ctx.cell_index], initials[ctx.cell_index],
+                         io::usd_archive_channels(ctx.cell.k), rspec, path);
+      r.stabilized = out.stabilized;
+      r.interactions = out.interactions;
+      r.clamped = out.clamped;
+      r.parallel_time = parallel_time(out.interactions, n);
+      r.winner = out.consensus;
+    } else if (ctx.cell.engine != EngineKind::kSequential) {
       Engine sim = ctx.make_engine(protocols[ctx.cell_index], initials[ctx.cell_index]);
       r = run_engine_trial(sim, budget);
     } else {

@@ -34,6 +34,7 @@
 #include "ppsim/core/gossip.hpp"
 #include "ppsim/core/recorder.hpp"
 #include "ppsim/core/sweep.hpp"
+#include "ppsim/io/archive_run.hpp"
 #include "ppsim/protocols/averaging_majority.hpp"
 #include "ppsim/protocols/cancel_duplicate.hpp"
 #include "ppsim/protocols/epidemic.hpp"
@@ -120,8 +121,14 @@ int run(int argc, char** argv) {
   const double max_parallel = cli.get_double("max-parallel", 100000.0);
   const std::string series_path = cli.get_string("series", "");
   const std::string engine_flag = cli.get_string("engine", "auto");
+  const Interactions record_stride = cli.get_int("record-stride", 0);
+  const std::string resume_from = cli.get_string("resume-from", "");
   const SweepCliOptions opts = read_sweep_flags(cli, 1, 1, "");
   cli.validate_no_unknown_flags();
+  PPSIM_CHECK((opts.record_to.empty() && resume_from.empty()) || protocol == "usd",
+              "--record-to/--resume-from are implemented for --protocol usd");
+  PPSIM_CHECK(opts.record_to.empty() || resume_from.empty(),
+              "--record-to and --resume-from are mutually exclusive");
 
   std::optional<EngineKind> engine_override;
   if (engine_flag != "auto") {
@@ -161,6 +168,49 @@ int run(int argc, char** argv) {
     // by construction: same stream, same engine.
     const std::uint64_t series_seed =
         SweepRunner::trial_stream(seed, 0)();  // = trial 0's derived seed
+    if (!opts.record_to.empty() || !resume_from.empty()) {
+      // Archive mode: one recorded run streamed to a trajectory archive
+      // (io/archive_run.hpp), resumable from its embedded checkpoints. The
+      // run reproduces sweep trial 0 (same derived seed); --engine auto maps
+      // to collapsed, the engine archives exist to make resumable.
+      const UndecidedStateDynamics usd(k);
+      const Configuration initial =
+          UndecidedStateDynamics::initial_configuration(init.opinion_counts);
+      const io::ArchiveChannels channels = io::usd_archive_channels(k);
+      if (!opts.record_to.empty()) {
+        io::ArchiveRunSpec rspec;
+        rspec.engine = engine_override.value_or(EngineKind::kCollapsed);
+        rspec.protocol_name = "usd";
+        rspec.seed = series_seed;
+        rspec.k = static_cast<Count>(k);
+        rspec.max_interactions = budget;
+        rspec.record_stride = record_stride;
+        rspec.checkpoint_every = opts.checkpoint_every;
+        const RunOutcome out =
+            io::record_run(usd, initial, channels, rspec, opts.record_to);
+        std::cout << "archive written to " << opts.record_to
+                  << " (stabilized=" << (out.stabilized ? 1 : 0)
+                  << " t=" << format_double(
+                                  static_cast<double>(out.interactions) /
+                                      static_cast<double>(n), 2)
+                  << ")\n";
+      } else {
+        const std::optional<RunOutcome> out =
+            io::resume_run(usd, initial, channels, resume_from);
+        if (!out.has_value()) {
+          std::cout << "archive " << resume_from
+                    << " is already finished; nothing to resume\n";
+        } else {
+          std::cout << "archive " << resume_from << " resumed to completion"
+                    << " (stabilized=" << (out->stabilized ? 1 : 0)
+                    << " t=" << format_double(
+                                    static_cast<double>(out->interactions) /
+                                        static_cast<double>(n), 2)
+                    << ")\n";
+        }
+      }
+      return 0;
+    }
     if (!series_path.empty()) {
       std::ofstream out(series_path);
       PPSIM_CHECK(out.good(), "cannot open series file " + series_path);

@@ -110,6 +110,7 @@ RunOutcome BatchedSimulator::run_until_stable(Interactions max_interactions) {
   while (interactions_ < max_interactions) {
     if (is_stable()) break;
     step_round(max_interactions - interactions_);
+    observe();
   }
   return outcome();
 }
@@ -121,8 +122,32 @@ RunOutcome BatchedSimulator::run_until(
   while (interactions_ < max_interactions && !predicate(config_, interactions_)) {
     if (is_stable()) break;
     step_round(max_interactions - interactions_);
+    observe();
   }
   return outcome();
+}
+
+EngineCheckpoint BatchedSimulator::checkpoint_state() const {
+  EngineCheckpoint cp;
+  cp.counts = config_.counts();
+  cp.rng_state = rng_.state();
+  cp.interactions = interactions_;
+  cp.clamped = clamped_;
+  return cp;
+}
+
+void BatchedSimulator::restore_checkpoint(const EngineCheckpoint& state) {
+  PPSIM_CHECK(state.counts.size() == config_.num_states(),
+              "checkpoint state-space size must match the engine's");
+  Configuration restored(state.counts);
+  PPSIM_CHECK(restored.population() == config_.population(),
+              "checkpoint population must match the engine's");
+  config_ = std::move(restored);
+  rng_.set_state(state.rng_state);
+  PPSIM_CHECK(state.interactions >= 0 && state.clamped >= 0,
+              "checkpoint clocks must be non-negative");
+  interactions_ = state.interactions;
+  clamped_ = state.clamped;
 }
 
 RunOutcome BatchedSimulator::outcome() const {

@@ -176,6 +176,7 @@ RunOutcome CollapsedSimulator::run_until_stable(Interactions max_interactions) {
   while (interactions_ < max_interactions) {
     if (is_stable()) break;
     step_round(max_interactions - interactions_);
+    observe();
   }
   return outcome();
 }
@@ -187,8 +188,35 @@ RunOutcome CollapsedSimulator::run_until(
   while (interactions_ < max_interactions && !predicate(config_, interactions_)) {
     if (is_stable()) break;
     step_round(max_interactions - interactions_);
+    observe();
   }
   return outcome();
+}
+
+EngineCheckpoint CollapsedSimulator::checkpoint_state() const {
+  EngineCheckpoint cp;
+  cp.counts = config_.counts();
+  cp.rng_state = rng_.state();
+  cp.interactions = interactions_;
+  cp.clamped = clamped_;
+  return cp;
+}
+
+void CollapsedSimulator::restore_checkpoint(const EngineCheckpoint& state) {
+  PPSIM_CHECK(state.counts.size() == config_.num_states(),
+              "checkpoint state-space size must match the engine's");
+  Configuration restored(state.counts);
+  PPSIM_CHECK(restored.population() == config_.population(),
+              "checkpoint population must match the engine's");
+  config_ = std::move(restored);
+  rng_.set_state(state.rng_state);
+  PPSIM_CHECK(state.interactions >= 0 && state.clamped >= 0,
+              "checkpoint clocks must be non-negative");
+  interactions_ = state.interactions;
+  clamped_ = state.clamped;
+  last_round_size_ = 0;
+  pairs_dirty_ = true;
+  alias_built_ = false;
 }
 
 RunOutcome CollapsedSimulator::outcome() const {

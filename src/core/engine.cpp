@@ -110,4 +110,16 @@ std::optional<Opinion> Engine::consensus_output() const {
   return std::visit([](const auto& e) { return e.consensus_output(); }, impl_);
 }
 
+void Engine::set_recorder(Recorder* recorder) {
+  std::visit([&](auto& e) { e.set_recorder(recorder); }, impl_);
+}
+
+EngineCheckpoint Engine::checkpoint_state() const {
+  return std::visit([](const auto& e) { return e.checkpoint_state(); }, impl_);
+}
+
+void Engine::restore_checkpoint(const EngineCheckpoint& state) {
+  std::visit([&](auto& e) { e.restore_checkpoint(state); }, impl_);
+}
+
 }  // namespace ppsim

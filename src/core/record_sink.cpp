@@ -1,0 +1,44 @@
+#include "ppsim/core/record_sink.hpp"
+
+#include <ostream>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+void TimeSeries::write_tsv(std::ostream& os) const {
+  os << "parallel_time";
+  for (const auto& name : channel_names) os << '\t' << name;
+  os << '\n';
+  for (std::size_t s = 0; s < parallel_time.size(); ++s) {
+    os << parallel_time[s];
+    for (const auto& channel : channels) os << '\t' << channel[s];
+    os << '\n';
+  }
+}
+
+void validate_channel_name(const std::string& name) {
+  PPSIM_CHECK(!name.empty(), "channel name must be non-empty");
+  PPSIM_CHECK(name.find_first_of("\t\n\r") == std::string::npos,
+              "channel name must not contain tabs or newlines: they would "
+              "corrupt the TSV header (channel: " + name + ")");
+}
+
+void MemorySink::open(const std::vector<std::string>& channel_names) {
+  for (const auto& name : channel_names) validate_channel_name(name);
+  series_.channel_names = channel_names;
+  series_.channels.assign(channel_names.size(), {});
+}
+
+void MemorySink::sample(Interactions interactions, double time,
+                        const std::vector<double>& values) {
+  (void)interactions;
+  PPSIM_CHECK(values.size() == series_.channels.size(),
+              "sample arity must match the opened channel list");
+  series_.parallel_time.push_back(time);
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    series_.channels[c].push_back(values[c]);
+  }
+}
+
+}  // namespace ppsim

@@ -1,42 +1,93 @@
 #include "ppsim/core/recorder.hpp"
 
-#include <ostream>
-
 #include "ppsim/util/check.hpp"
 
 namespace ppsim {
-
-void TimeSeries::write_tsv(std::ostream& os) const {
-  os << "parallel_time";
-  for (const auto& name : channel_names) os << '\t' << name;
-  os << '\n';
-  for (std::size_t s = 0; s < parallel_time.size(); ++s) {
-    os << parallel_time[s];
-    for (const auto& channel : channels) os << '\t' << channel[s];
-    os << '\n';
-  }
-}
 
 Recorder::Recorder(Interactions stride) : stride_(stride) {
   PPSIM_CHECK(stride > 0, "recorder stride must be positive");
 }
 
 void Recorder::add_channel(std::string name, Projection projection) {
-  PPSIM_CHECK(series_.parallel_time.empty(),
-              "channels must be added before the first sample");
-  series_.channel_names.push_back(std::move(name));
-  series_.channels.emplace_back();
+  PPSIM_CHECK(!opened_, "channels must be added before the first sample");
+  validate_channel_name(name);
+  channel_names_.push_back(std::move(name));
   projections_.push_back(std::move(projection));
 }
 
-void Recorder::sample(const Configuration& config, Interactions interactions) {
-  series_.parallel_time.push_back(parallel_time(interactions, config.population()));
-  for (std::size_t c = 0; c < projections_.size(); ++c) {
-    series_.channels[c].push_back(projections_[c](config, interactions));
-  }
-  next_sample_ = interactions + stride_;
+void Recorder::add_sink(RecordSink& sink) {
+  PPSIM_CHECK(!opened_, "sinks must be attached before the first sample");
+  sinks_.push_back(&sink);
 }
 
-TimeSeries Recorder::take_series() && { return std::move(series_); }
+void Recorder::set_keep_series(bool keep) {
+  PPSIM_CHECK(!opened_, "set_keep_series must precede the first sample");
+  keep_series_ = keep;
+}
+
+void Recorder::set_checkpoint_stride(Interactions stride) {
+  PPSIM_CHECK(stride >= 0, "checkpoint stride must be non-negative");
+  checkpoint_stride_ = stride;
+  next_checkpoint_ = stride;
+}
+
+void Recorder::ensure_open() {
+  if (opened_) return;
+  opened_ = true;
+  if (keep_series_) memory_.open(channel_names_);
+  for (auto* sink : sinks_) sink->open(channel_names_);
+}
+
+void Recorder::sample(const Configuration& config, Interactions interactions) {
+  ensure_open();
+  scratch_.clear();
+  for (auto& projection : projections_) {
+    scratch_.push_back(projection(config, interactions));
+  }
+  const double time = parallel_time(interactions, config.population());
+  if (keep_series_) memory_.sample(interactions, time, scratch_);
+  for (auto* sink : sinks_) sink->sample(interactions, time, scratch_);
+  last_sample_ = interactions;
+  // Advance by whole strides so the sampling lattice never drifts: a batched
+  // or collapsed round that overshoots a lattice point yields one (late)
+  // sample, and the next sample is still due at the next lattice point —
+  // not at overshoot + stride.
+  while (next_sample_ <= interactions) next_sample_ += stride_;
+}
+
+void Recorder::record_checkpoint(EngineCheckpoint state) {
+  ensure_open();
+  state.last_sample = last_sample_;
+  for (auto* sink : sinks_) sink->checkpoint(state);
+  while (next_checkpoint_ <= state.interactions) {
+    next_checkpoint_ += checkpoint_stride_;
+  }
+}
+
+void Recorder::resume_at(const EngineCheckpoint& state) {
+  PPSIM_CHECK(!opened_, "resume_at must precede the first sample");
+  PPSIM_CHECK(state.interactions >= 0, "checkpoint clock must be non-negative");
+  last_sample_ = state.last_sample;
+  // At the instant a checkpoint is written, maybe_sample has already fired
+  // for every due lattice point (engines observe samples before
+  // checkpoints), so both lattices are pure functions of the checkpoint's
+  // interaction clock: the next event is the first point strictly past it.
+  next_sample_ = (state.interactions / stride_ + 1) * stride_;
+  if (checkpoint_stride_ > 0) {
+    next_checkpoint_ =
+        (state.interactions / checkpoint_stride_ + 1) * checkpoint_stride_;
+  }
+}
+
+void Recorder::finalize(const Configuration& config, const RecordFinish& fin) {
+  if (fin.interactions != last_sample_) {
+    sample(config, fin.interactions);
+  } else {
+    ensure_open();
+  }
+  for (auto* sink : sinks_) sink->finish(fin);
+}
+
+TimeSeries Recorder::take_series() && { return std::move(memory_).take_series(); }
 
 }  // namespace ppsim

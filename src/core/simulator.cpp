@@ -38,7 +38,10 @@ RunOutcome Simulator::run_until_stable(Interactions max_interactions) {
     if (is_stable()) break;
     const Interactions chunk =
         std::min(stability_stride_, max_interactions - interactions_);
-    for (Interactions i = 0; i < chunk; ++i) step();
+    for (Interactions i = 0; i < chunk; ++i) {
+      step();
+      observe();
+    }
   }
   RunOutcome out;
   out.stabilized = is_stable();
@@ -62,6 +65,7 @@ RunOutcome Simulator::run_until(
       next_stability_check = interactions_ + stability_stride_;
     }
     step();
+    observe();
   }
   RunOutcome out;
   out.stabilized = is_stable();
@@ -95,6 +99,27 @@ std::optional<Opinion> Simulator::consensus_output() const {
 void Simulator::set_stability_check_stride(Interactions stride) {
   PPSIM_CHECK(stride > 0, "stability check stride must be positive");
   stability_stride_ = stride;
+}
+
+EngineCheckpoint Simulator::checkpoint_state() const {
+  EngineCheckpoint cp;
+  cp.counts = config_.counts();
+  cp.rng_state = rng_.state();
+  cp.interactions = interactions_;
+  return cp;
+}
+
+void Simulator::restore_checkpoint(const EngineCheckpoint& state) {
+  PPSIM_CHECK(state.counts.size() == config_.num_states(),
+              "checkpoint state-space size must match the engine's");
+  Configuration restored(state.counts);
+  PPSIM_CHECK(restored.population() == config_.population(),
+              "checkpoint population must match the engine's");
+  config_ = std::move(restored);
+  sampler_ = PairSampler(config_);
+  rng_.set_state(state.rng_state);
+  PPSIM_CHECK(state.interactions >= 0, "checkpoint clock must be non-negative");
+  interactions_ = state.interactions;
 }
 
 }  // namespace ppsim

@@ -508,6 +508,10 @@ SweepCliOptions read_sweep_flags(Cli& cli, std::size_t default_trials,
       cli.get_int("seed", static_cast<std::int64_t>(default_seed)));
   opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.json = cli.get_string("json", default_json);
+  opts.record_to = cli.get_string("record-to", "");
+  opts.checkpoint_every = cli.get_int("checkpoint-every", 0);
+  PPSIM_CHECK(opts.checkpoint_every >= 0,
+              "--checkpoint-every must be non-negative");
   return opts;
 }
 

@@ -92,8 +92,24 @@ class BatchedSimulator {
     return ppsim::consensus_output(protocol_, config_);
   }
 
+  /// Streams strided samples (and engine checkpoints) from inside the run
+  /// loops, once per round. Not owned; nullptr detaches.
+  void set_recorder(Recorder* recorder) noexcept { recorder_ = recorder; }
+
+  /// Snapshot / restore of the full mutable state (counts, RNG, clocks);
+  /// see Simulator::checkpoint_state for the contract.
+  EngineCheckpoint checkpoint_state() const;
+  void restore_checkpoint(const EngineCheckpoint& state);
+
  private:
   RunOutcome outcome() const;
+  void observe() {
+    if (recorder_ == nullptr) return;
+    recorder_->maybe_sample(config_, interactions_);
+    if (recorder_->checkpoint_due(interactions_)) {
+      recorder_->record_checkpoint(checkpoint_state());
+    }
+  }
 
   const Protocol& protocol_;
   TransitionTable table_;
@@ -102,6 +118,7 @@ class BatchedSimulator {
   Interactions round_size_;
   Interactions interactions_ = 0;
   Interactions clamped_ = 0;
+  Recorder* recorder_ = nullptr;
   // Scratch buffers reused across rounds to keep a round allocation-free.
   std::vector<State> pair_a_;
   std::vector<State> pair_b_;

@@ -119,8 +119,26 @@ class CollapsedSimulator {
     return ppsim::consensus_output(protocol_, config_);
   }
 
+  /// Streams strided samples (and engine checkpoints) from inside the run
+  /// loops, once per round. Not owned; nullptr detaches.
+  void set_recorder(Recorder* recorder) noexcept { recorder_ = recorder; }
+
+  /// Snapshot / restore of the full mutable state. The pair caches and the
+  /// alias table are deterministic functions of the counts, so restoring
+  /// just marks them dirty; the resumed run then makes exactly the draws
+  /// the original would have made.
+  EngineCheckpoint checkpoint_state() const;
+  void restore_checkpoint(const EngineCheckpoint& state);
+
  private:
   RunOutcome outcome() const;
+  void observe() {
+    if (recorder_ == nullptr) return;
+    recorder_->maybe_sample(config_, interactions_);
+    if (recorder_->checkpoint_due(interactions_)) {
+      recorder_->record_checkpoint(checkpoint_state());
+    }
+  }
   /// Rebuilds the active-pair enumeration (weights, transitions, per-state
   /// consumption) if a count changed since the last build. O(S²).
   void refresh_pairs();
@@ -139,6 +157,7 @@ class CollapsedSimulator {
   Interactions interactions_ = 0;
   Interactions clamped_ = 0;
   Interactions last_round_size_ = 0;
+  Recorder* recorder_ = nullptr;
 
   // Active-pair data, valid while !pairs_dirty_ (counts unchanged).
   bool pairs_dirty_ = true;

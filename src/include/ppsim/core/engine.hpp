@@ -62,6 +62,21 @@ class Engine {
   bool is_stable() const;
   std::optional<Opinion> consensus_output() const;
 
+  /// Streams strided samples (plus engine checkpoints when the recorder has
+  /// a checkpoint stride) from inside the run loops: the sequential engines
+  /// observe once per interaction, the round engines once per round. Not
+  /// owned; nullptr detaches; the recorder must outlive the run calls.
+  void set_recorder(Recorder* recorder);
+
+  /// Full mutable engine state (counts, RNG, interaction clock) — the
+  /// payload of the trajectory archive's checkpoint records.
+  EngineCheckpoint checkpoint_state() const;
+
+  /// Restores a checkpoint_state() snapshot taken from an engine of the
+  /// same kind, protocol, and population; the run then continues on the
+  /// exact draw sequence of the original.
+  void restore_checkpoint(const EngineCheckpoint& state);
+
  private:
   EngineKind kind_;
   std::variant<Simulator, BatchedSimulator, CollapsedSimulator> impl_;

@@ -33,6 +33,13 @@ struct TrialResult {
 /// trial loop with identical accounting (attempted vs clamped interactions).
 TrialResult run_engine_trial(Engine& engine, Interactions max_interactions);
 
+/// Same, streaming through `recorder` (attached for the duration of the run,
+/// finalized with the outcome afterwards). With recorder == nullptr this is
+/// exactly the overload above, so benches can thread an optional archive
+/// sink through one call site.
+TrialResult run_engine_trial(Engine& engine, Interactions max_interactions,
+                             Recorder* recorder);
+
 using TrialFn = std::function<TrialResult(std::uint64_t seed, std::size_t trial)>;
 
 /// Runs `num_trials` trials. `num_threads == 0` means use the hardware

@@ -18,6 +18,7 @@
 
 #include "ppsim/core/configuration.hpp"
 #include "ppsim/core/protocol.hpp"
+#include "ppsim/core/recorder.hpp"
 #include "ppsim/core/scheduler.hpp"
 #include "ppsim/core/transition_table.hpp"
 #include "ppsim/core/types.hpp"
@@ -78,7 +79,30 @@ class Simulator {
   /// size, i.e. once per parallel time unit).
   void set_stability_check_stride(Interactions stride);
 
+  /// Streams strided samples (and, when the recorder has a checkpoint
+  /// stride, full engine snapshots) from inside the run loops. Not owned;
+  /// nullptr detaches. The recorder must outlive the run calls.
+  void set_recorder(Recorder* recorder) noexcept { recorder_ = recorder; }
+
+  /// Everything needed to continue this run in another process: counts,
+  /// RNG state, interaction clock (the PairSampler is rebuilt from counts).
+  EngineCheckpoint checkpoint_state() const;
+
+  /// Restores a state captured by checkpoint_state() on an engine built
+  /// with the same protocol and state-space shape. After restoring, the
+  /// run continues on exactly the sequence of draws the original would
+  /// have made.
+  void restore_checkpoint(const EngineCheckpoint& state);
+
  private:
+  void observe() {
+    if (recorder_ == nullptr) return;
+    recorder_->maybe_sample(config_, interactions_);
+    if (recorder_->checkpoint_due(interactions_)) {
+      recorder_->record_checkpoint(checkpoint_state());
+    }
+  }
+
   const Protocol& protocol_;
   std::optional<TransitionTable> table_;  // engaged in kTable mode
   Configuration config_;
@@ -86,6 +110,7 @@ class Simulator {
   Xoshiro256pp rng_;
   Interactions interactions_ = 0;
   Interactions stability_stride_;
+  Recorder* recorder_ = nullptr;
 };
 
 }  // namespace ppsim

@@ -242,12 +242,19 @@ class SweepRunner {
 /// flags identically: --trials (a count, or auto[:rel_err] for adaptive
 /// stopping), --min-trials / --max-trials (adaptive wave floor and cap),
 /// --seed, --threads (0 = hardware), --json (unified report path; empty
-/// disables).
+/// disables), --record-to (trajectory-archive destination; empty disables)
+/// and --checkpoint-every (checkpoint stride for recorded runs, 0 = none).
 struct SweepCliOptions {
   std::size_t trials = 1;  ///< fixed count, or the cap when stopping.adaptive
   std::uint64_t seed = 42;
   unsigned threads = 1;
   std::string json;
+  /// Trajectory-archive destination ("" = no recording). Binaries that
+  /// record one run treat it as a file path; benches that archive a
+  /// representative trial per cell treat it as a directory.
+  std::string record_to;
+  /// Checkpoint stride (interactions) for recorded runs; 0 = no checkpoints.
+  Interactions checkpoint_every = 0;
   TrialStopping stopping;
 
   /// Applies the shared flags to a spec (trials/base_seed/threads/stopping),

@@ -97,6 +97,19 @@ class Xoshiro256pp {
   /// Bernoulli(p) draw.
   bool bernoulli(double p) noexcept { return canonical() < p; }
 
+  /// The raw 256-bit generator state, for engine checkpoints (the trajectory
+  /// archive stores it so an interrupted run resumes on the exact same
+  /// random sequence).
+  const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+
+  /// Restores a state captured by state(). The all-zero state is xoshiro's
+  /// one forbidden fixed point; restoring it is a no-op (callers that parse
+  /// untrusted checkpoint bytes reject it loudly before getting here).
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    if ((state[0] | state[1] | state[2] | state[3]) == 0) return;
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
     return (x << s) | (x >> (64 - s));

@@ -90,5 +90,175 @@ TEST(RecorderTest, WriteTsvAndTakeSeries) {
             "0.1\t30\t70\n");
 }
 
+TEST(RecorderTest, UnevenJumpsStayOnTheStrideLattice) {
+  // Regression: the sampler advances by whole strides, so an observation
+  // arriving late (the engine leapt past several lattice points) must not
+  // shift the lattice. With the old `next = interactions + stride` drift,
+  // the sample at 32 below would have waited until 35.
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  const Configuration config({100});
+  rec.maybe_sample(config, 0);
+  rec.maybe_sample(config, 25);  // leapt past 10 and 20
+  rec.maybe_sample(config, 32);  // next lattice point is 30, so this samples
+  EXPECT_EQ(rec.series().num_samples(), 3u);
+  EXPECT_EQ(rec.last_sample(), 32);
+}
+
+TEST(RecorderTest, RejectsChannelNamesThatWouldCorruptTables) {
+  Recorder rec(10);
+  EXPECT_THROW(rec.add_channel("a\tb", count_of(0)), CheckFailure);
+  EXPECT_THROW(rec.add_channel("a\nb", count_of(0)), CheckFailure);
+  EXPECT_THROW(rec.add_channel("a\rb", count_of(0)), CheckFailure);
+  EXPECT_THROW(rec.add_channel("", count_of(0)), CheckFailure);
+  rec.add_channel("still fine", count_of(0));  // spaces are legal
+}
+
+/// RecordSink that logs every pipeline call for fan-out assertions.
+struct CapturingSink final : RecordSink {
+  std::vector<std::string> opened;
+  std::vector<Interactions> samples;
+  std::vector<std::vector<double>> values;
+  std::vector<EngineCheckpoint> checkpoints;
+  std::vector<RecordFinish> finishes;
+  void open(const std::vector<std::string>& names) override { opened = names; }
+  void sample(Interactions i, double, const std::vector<double>& v) override {
+    samples.push_back(i);
+    values.push_back(v);
+  }
+  void checkpoint(const EngineCheckpoint& cp) override { checkpoints.push_back(cp); }
+  void finish(const RecordFinish& fin) override { finishes.push_back(fin); }
+};
+
+TEST(RecorderTest, FansSamplesOutToSinksAndMemory) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  CapturingSink sink;
+  rec.add_sink(sink);
+  const Configuration config({40, 60});
+  rec.maybe_sample(config, 0);
+  rec.maybe_sample(config, 10);
+  ASSERT_EQ(sink.opened, std::vector<std::string>{"x"});
+  ASSERT_EQ(sink.samples, (std::vector<Interactions>{0, 10}));
+  EXPECT_EQ(sink.values[1], std::vector<double>{40.0});
+  // The built-in memory sink saw the same stream.
+  EXPECT_EQ(rec.series().num_samples(), 2u);
+}
+
+TEST(RecorderTest, SinksMustAttachBeforeFirstSample) {
+  Recorder rec(10);
+  const Configuration config({10});
+  rec.sample(config, 0);
+  CapturingSink sink;
+  EXPECT_THROW(rec.add_sink(sink), CheckFailure);
+}
+
+TEST(RecorderTest, KeepSeriesFalseStreamsWithoutAccumulating) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  rec.set_keep_series(false);
+  CapturingSink sink;
+  rec.add_sink(sink);
+  const Configuration config({10});
+  rec.maybe_sample(config, 0);
+  rec.maybe_sample(config, 10);
+  EXPECT_EQ(sink.samples.size(), 2u);
+  EXPECT_EQ(rec.series().num_samples(), 0u);
+}
+
+TEST(RecorderTest, CheckpointLatticeAndLastSampleStamping) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  rec.set_checkpoint_stride(25);
+  CapturingSink sink;
+  rec.add_sink(sink);
+  const Configuration config({10});
+  rec.maybe_sample(config, 12);
+  EXPECT_FALSE(rec.checkpoint_due(24));
+  ASSERT_TRUE(rec.checkpoint_due(30));
+  EngineCheckpoint cp;
+  cp.counts = {10};
+  cp.rng_state = {1, 2, 3, 4};
+  cp.interactions = 30;
+  rec.record_checkpoint(cp);
+  ASSERT_EQ(sink.checkpoints.size(), 1u);
+  // The recorder stamps its own sampling position into the checkpoint, so
+  // a resumed run knows whether the end-of-run sample is still pending.
+  EXPECT_EQ(sink.checkpoints[0].last_sample, 12);
+  // Lattice advanced by whole strides past 30: next due at 50, not 55.
+  EXPECT_FALSE(rec.checkpoint_due(49));
+  EXPECT_TRUE(rec.checkpoint_due(50));
+}
+
+TEST(RecorderTest, FinalizeSkipsDuplicateFinalSample) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  CapturingSink sink;
+  rec.add_sink(sink);
+  const Configuration config({10});
+  rec.maybe_sample(config, 10);
+  // The run ended exactly at the last sample's clock: no duplicate sample,
+  // but every sink still learns the outcome.
+  rec.finalize(config, RecordFinish{.stabilized = true, .interactions = 10});
+  EXPECT_EQ(sink.samples, (std::vector<Interactions>{10}));
+  ASSERT_EQ(sink.finishes.size(), 1u);
+  EXPECT_TRUE(sink.finishes[0].stabilized);
+}
+
+TEST(RecorderTest, FinalizeCapturesEndStateWhenNotSampled) {
+  Recorder rec(1'000'000);
+  rec.add_channel("x", count_of(0));
+  CapturingSink sink;
+  rec.add_sink(sink);
+  const Configuration config({10});
+  rec.maybe_sample(config, 0);
+  rec.finalize(config, RecordFinish{.stabilized = false, .interactions = 777});
+  EXPECT_EQ(sink.samples, (std::vector<Interactions>{0, 777}));
+}
+
+TEST(RecorderTest, ResumeRestartsBothLattices) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  rec.set_checkpoint_stride(25);
+  EngineCheckpoint cp;
+  cp.interactions = 37;
+  cp.last_sample = 30;
+  rec.resume_at(cp);
+  EXPECT_EQ(rec.last_sample(), 30);
+  const Configuration config({10});
+  rec.maybe_sample(config, 38);  // next lattice point is 40
+  EXPECT_EQ(rec.series().num_samples(), 0u);
+  rec.maybe_sample(config, 40);
+  EXPECT_EQ(rec.series().num_samples(), 1u);
+  EXPECT_FALSE(rec.checkpoint_due(49));
+  EXPECT_TRUE(rec.checkpoint_due(50));
+}
+
+TEST(RecorderTest, ResumeRequiresPristineRecorder) {
+  Recorder rec(10);
+  rec.add_channel("x", count_of(0));
+  const Configuration config({10});
+  rec.sample(config, 0);
+  EngineCheckpoint cp;
+  cp.interactions = 20;
+  EXPECT_THROW(rec.resume_at(cp), CheckFailure);
+}
+
+TEST(TimeSeriesTest, WriteTsvNeverEmitsUnescapedNames) {
+  // Channel names are validated at add_channel, so by the time a series is
+  // written its header row cannot contain separators. Pin the validator.
+  EXPECT_THROW(validate_channel_name("tab\there"), CheckFailure);
+  EXPECT_THROW(validate_channel_name("newline\n"), CheckFailure);
+  EXPECT_NO_THROW(validate_channel_name("plain_name"));
+}
+
+TEST(MemorySinkTest, RejectsMismatchedArity) {
+  MemorySink sink;
+  sink.open({"a", "b"});
+  EXPECT_THROW(sink.sample(0, 0.0, {1.0}), CheckFailure);
+  sink.sample(0, 0.0, {1.0, 2.0});
+  EXPECT_EQ(sink.series().num_samples(), 1u);
+}
+
 }  // namespace
 }  // namespace ppsim

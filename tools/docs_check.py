@@ -43,10 +43,16 @@ PER_BINARY_OVERRIDES = {
     # expensive; shrink both cell classes for the smoke run.
     "bench_throughput": {"small-n": "5000", "large-n": "1000000",
                          "small-cells": "3"},
+    # At the smoke-scale n the documented checkpoint stride would never
+    # fire; shrink it so recording recipes exercise the checkpoint path.
+    "ppsim_run": {"checkpoint-every": "100000"},
 }
 PER_COMMAND_TIMEOUT = 180  # seconds
 
-COMMAND_RE = re.compile(r"(?:\./build/)?(bench_[a-z0-9_]+|ppsim_run)\b")
+# Commands sharing one scratch directory run in document order, so a recipe
+# that records an archive and then resumes/queries it works as quoted.
+COMMAND_RE = re.compile(
+    r"(?:\./build/)?(bench_[a-z0-9_]+|ppsim_run|ppsim_query)\b")
 FLAG_REGISTRATION_RE = re.compile(
     r'get_(?:int|double|string|bool)\(\s*"([a-z0-9-]+)"')
 
@@ -100,13 +106,15 @@ def extract_commands(text: str):
 
 def registered_flags(binary: str, root: pathlib.Path):
     """Flags the binary's source registers with Cli::get_*."""
-    source = root / ("examples" if binary == "ppsim_run" else "bench") / f"{binary}.cpp"
+    subdir = "examples" if binary in ("ppsim_run", "ppsim_query") else "bench"
+    source = root / subdir / f"{binary}.cpp"
     if not source.is_file():
         return None
     text = source.read_text()
     flags = set(FLAG_REGISTRATION_RE.findall(text))
     if "read_sweep_flags" in text:
-        flags |= {"trials", "min-trials", "max-trials", "seed", "threads", "json"}
+        flags |= {"trials", "min-trials", "max-trials", "seed", "threads",
+                  "json", "record-to", "checkpoint-every"}
     return flags
 
 
