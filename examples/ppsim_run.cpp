@@ -172,7 +172,11 @@ int run(int argc, char** argv) {
       // Archive mode: one recorded run streamed to a trajectory archive
       // (io/archive_run.hpp), resumable from its embedded checkpoints. The
       // run reproduces sweep trial 0 (same derived seed); --engine auto maps
-      // to collapsed, the engine archives exist to make resumable.
+      // to collapsed, the engine archives exist to make resumable. Archive
+      // runs always use the scalar kernel (--kernel is ignored here):
+      // resume replays the recorded draw sequence, and the archive format
+      // does not record which kernel produced it, so the deterministic
+      // baseline is the only backend that can honour a recorded checkpoint.
       const UndecidedStateDynamics usd(k);
       const Configuration initial =
           UndecidedStateDynamics::initial_configuration(init.opinion_counts);
@@ -248,7 +252,7 @@ int run(int argc, char** argv) {
         const UndecidedStateDynamics usd(k);
         Engine engine(*engine_override, usd,
                       UndecidedStateDynamics::initial_configuration(init.opinion_counts),
-                      series_seed);
+                      series_seed, {.kernel = opts.kernel}, {.kernel = opts.kernel});
         engine.run_until(
             [&](const Configuration& c, Interactions i) {
               rec.maybe_sample(c, i);
@@ -287,7 +291,10 @@ int run(int argc, char** argv) {
           UndecidedStateDynamics::initial_configuration(init.opinion_counts);
       run_one_cell("ppsim_run", base_cell(*engine_override), opts,
                    [&](const SweepTrial& ctx) {
-                     Engine engine(ctx.cell.engine, usd, initial, ctx.seed);
+                     const kernels::KernelKind kernel =
+                         ctx.cell.kernel.value_or(opts.kernel);
+                     Engine engine(ctx.cell.engine, usd, initial, ctx.seed,
+                                   {.kernel = kernel}, {.kernel = kernel});
                      return consensus_metrics(run_engine_trial(engine, budget));
                    });
       return 0;

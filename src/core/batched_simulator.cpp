@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "ppsim/util/check.hpp"
-#include "ppsim/util/random_variates.hpp"
 
 namespace ppsim {
 
@@ -12,7 +11,8 @@ BatchedSimulator::BatchedSimulator(const Protocol& protocol, Configuration initi
     : protocol_(protocol),
       table_(protocol),
       config_(std::move(initial)),
-      rng_(seed) {
+      rng_(seed),
+      kernel_(&kernels::resolve(options.kernel)) {
   PPSIM_CHECK(config_.num_states() == protocol.num_states(),
               "configuration size must match the protocol's state space");
   PPSIM_CHECK(config_.population() >= 2, "population must have at least two agents");
@@ -29,79 +29,33 @@ Interactions BatchedSimulator::step_round(Interactions max_interactions) {
   const Interactions batch = std::min(round_size_, max_interactions);
   if (batch == 0) return 0;
 
-  const auto n = static_cast<double>(config_.population());
-  const double total_weight = n * (n - 1.0);  // ordered pairs of distinct agents
-
-  // Enumerate the active non-null ordered pairs and their weights.
-  pair_a_.clear();
-  pair_b_.clear();
-  pair_weight_.clear();
-  const auto& counts = config_.counts();
-  const auto q = static_cast<State>(config_.num_states());
-  double active_weight = 0.0;
-  for (State a = 0; a < q; ++a) {
-    if (counts[a] == 0) continue;
-    for (State b = 0; b < q; ++b) {
-      if (counts[b] == 0) continue;
-      if (a == b && counts[a] < 2) continue;
-      if (table_.is_null(a, b)) continue;
-      const double w = static_cast<double>(counts[a]) *
-                       static_cast<double>(a == b ? counts[b] - 1 : counts[b]);
-      pair_a_.push_back(a);
-      pair_b_.push_back(b);
-      pair_weight_.push_back(w);
-      active_weight += w;
-    }
+  // Rebuild the active-pair law only when a count moved since the last
+  // build (the rebuild is RNG-free, so the lazy skip is draw-identical to
+  // the historical every-round enumeration).
+  if (law_generation_ != counts_generation_) {
+    law_.rebuild(table_, config_);
+    law_generation_ = counts_generation_;
   }
 
   interactions_ += batch;
-  if (pair_weight_.empty()) return batch;  // stable: every interaction is null
+  if (law_.empty()) return batch;  // stable: every interaction is null
 
-  // Split the round into null and non-null interactions, then distribute the
-  // non-null ones over the active pairs. Grouping a multinomial's buckets and
-  // splitting the group afterwards is exact, so this two-stage draw has the
-  // same law as one multinomial over all q² pairs.
-  const Interactions active = binomial(rng_, batch, active_weight / total_weight);
-  if (active == 0) return batch;
-  const std::vector<std::int64_t> draws = multinomial(rng_, active, pair_weight_);
+  // The kernel splits the round into null and non-null interactions with one
+  // binomial, then distributes the non-null ones over the active pairs with
+  // an exact multinomial. Grouping a multinomial's buckets and splitting the
+  // group afterwards is exact, so this two-stage draw has the same law as
+  // one multinomial over all q² pairs.
+  kernels::RoundTask task;
+  task.law = &law_;
+  task.batch = batch;
+  task.rng = &rng_;
+  task.draws = &draws_;
+  kernel_->advance(task);
+  if (task.active == 0) return batch;
 
-  for (std::size_t i = 0; i < draws.size(); ++i) {
-    if (draws[i] == 0) continue;
-    const State a = pair_a_[i];
-    const State b = pair_b_[i];
-    const Transition t = table_.apply(a, b);
-    Interactions m = draws[i];
-    // Clamp to the live counts: earlier pairs in this round may have drained
-    // a state below what the start-of-round weights promised. Every clamp
-    // keeps the bulk result inside the sequential chain's reachable set:
-    // each (a, a) interaction needs two live a-agents, so with one leaver at
-    // most count-1 interactions can fire (never draining the state), and
-    // with two leavers at most count/2.
-    if (a == b) {
-      const int leavers = (t.initiator != a ? 1 : 0) + (t.responder != a ? 1 : 0);
-      const Interactions cap = leavers == 2 ? config_.count(a) / 2
-                                            : config_.count(a) - 1;
-      m = std::min(m, std::max<Interactions>(0, cap));
-      clamped_ += draws[i] - m;
-      if (m == 0) continue;
-      if (t.initiator != a) config_.move_agents(a, t.initiator, m);
-      if (t.responder != a) config_.move_agents(a, t.responder, m);
-    } else {
-      // Both participants must be live, even on the side f leaves unchanged.
-      if (config_.count(a) == 0 || config_.count(b) == 0) {
-        clamped_ += draws[i];
-        continue;
-      }
-      if (t.initiator != a) m = std::min<Interactions>(m, config_.count(a));
-      if (t.responder != b) m = std::min<Interactions>(m, config_.count(b));
-      clamped_ += draws[i] - m;
-      if (m == 0) continue;
-      // Remove both participants before re-adding so a swap transition
-      // (f(a,b) = (b,a)) never transiently overdraws either state.
-      config_.move_agents(a, t.initiator, m);
-      config_.move_agents(b, t.responder, m);
-    }
-  }
+  const kernels::ApplyResult applied = kernels::apply_draws(law_, config_, draws_);
+  clamped_ = sat_add(clamped_, applied.clamped);
+  if (applied.moved) ++counts_generation_;
   return batch;
 }
 
@@ -148,6 +102,9 @@ void BatchedSimulator::restore_checkpoint(const EngineCheckpoint& state) {
               "checkpoint clocks must be non-negative");
   interactions_ = state.interactions;
   clamped_ = state.clamped;
+  // One generation bump invalidates the law; the resumed run then makes
+  // exactly the draws the original would have made.
+  ++counts_generation_;
 }
 
 RunOutcome BatchedSimulator::outcome() const {

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "ppsim/util/check.hpp"
-#include "ppsim/util/random_variates.hpp"
 
 namespace ppsim {
 
@@ -15,7 +14,8 @@ CollapsedSimulator::CollapsedSimulator(const Protocol& protocol,
       table_(protocol),
       config_(std::move(initial)),
       rng_(seed),
-      options_(options) {
+      options_(options),
+      kernel_(&kernels::resolve(options.kernel)) {
   PPSIM_CHECK(config_.num_states() == protocol.num_states(),
               "configuration size must match the protocol's state space");
   PPSIM_CHECK(config_.population() >= 2, "population must have at least two agents");
@@ -25,48 +25,16 @@ CollapsedSimulator::CollapsedSimulator(const Protocol& protocol,
   PPSIM_CHECK(options_.tau_epsilon > 0.0 && options_.tau_epsilon <= 1.0,
               "tau_epsilon must be in (0, 1]");
   PPSIM_CHECK(options_.max_round >= 0, "max_round must be non-negative");
-  consumption_.resize(config_.num_states());
 }
 
 CollapsedSimulator::CollapsedSimulator(const Protocol& protocol,
                                        Configuration initial, std::uint64_t seed)
     : CollapsedSimulator(protocol, std::move(initial), seed, Options()) {}
 
-void CollapsedSimulator::refresh_pairs() {
-  if (!pairs_dirty_) return;
-  const auto n = static_cast<double>(config_.population());
-  total_weight_ = n * (n - 1.0);
-  pair_a_.clear();
-  pair_b_.clear();
-  pair_t_.clear();
-  pair_weight_.clear();
-  std::fill(consumption_.begin(), consumption_.end(), 0.0);
-  active_weight_ = 0.0;
-  const auto& counts = config_.counts();
-  const auto q = static_cast<State>(config_.num_states());
-  for (State a = 0; a < q; ++a) {
-    if (counts[a] == 0) continue;
-    for (State b = 0; b < q; ++b) {
-      if (counts[b] == 0) continue;
-      if (a == b && counts[a] < 2) continue;
-      if (table_.is_null(a, b)) continue;
-      const double w = static_cast<double>(counts[a]) *
-                       static_cast<double>(a == b ? counts[b] - 1 : counts[b]);
-      const Transition t = table_.apply(a, b);
-      pair_a_.push_back(a);
-      pair_b_.push_back(b);
-      pair_t_.push_back(t);
-      pair_weight_.push_back(w);
-      active_weight_ += w;
-      // One interaction on (a, b) removes an agent from each side whose
-      // state actually changes — exactly what apply_bulk will move, so the
-      // τ controller's drain bound matches the clamp's exposure.
-      if (t.initiator != a) consumption_[a] += w;
-      if (t.responder != b) consumption_[b] += w;
-    }
-  }
-  pairs_dirty_ = false;
-  alias_built_ = false;
+void CollapsedSimulator::refresh_law() {
+  if (law_generation_ == counts_generation_) return;
+  law_.rebuild(table_, config_);
+  law_generation_ = counts_generation_;
 }
 
 Interactions CollapsedSimulator::choose_tau(Interactions budget) const {
@@ -75,13 +43,13 @@ Interactions CollapsedSimulator::choose_tau(Interactions budget) const {
   // within one round.
   double tau = options_.tau_epsilon * n;
   const auto& counts = config_.counts();
-  for (std::size_t s = 0; s < consumption_.size(); ++s) {
-    if (consumption_[s] <= 0.0) continue;
-    // consumption_[s] / total_weight_ = expected agents of s removed per
+  for (std::size_t s = 0; s < law_.num_states(); ++s) {
+    if (law_.consumption(s) <= 0.0) continue;
+    // consumption(s) / total_weight = expected agents of s removed per
     // interaction; bound the round's expected drain to ε·c_s.
-    const double per_state =
-        options_.tau_epsilon * static_cast<double>(counts[s]) * total_weight_ /
-        consumption_[s];
+    const double per_state = options_.tau_epsilon *
+                             static_cast<double>(counts[s]) *
+                             law_.total_weight() / law_.consumption(s);
     tau = std::min(tau, per_state);
   }
   Interactions t = tau >= static_cast<double>(budget)
@@ -91,51 +59,16 @@ Interactions CollapsedSimulator::choose_tau(Interactions budget) const {
   return std::min(t, budget);
 }
 
-void CollapsedSimulator::apply_bulk(std::size_t i, Interactions m) {
-  const State a = pair_a_[i];
-  const State b = pair_b_[i];
-  const Transition t = pair_t_[i];
-  const Interactions drawn = m;
-  // Clamp to the live counts, exactly as the batched engine does: earlier
-  // pairs in this round may have drained a state below what the
-  // start-of-round weights promised. The τ controller makes this a
-  // many-sigma event, but the invariant (non-negative counts, constant
-  // population) must hold unconditionally.
-  if (a == b) {
-    const int leavers = (t.initiator != a ? 1 : 0) + (t.responder != a ? 1 : 0);
-    const Interactions cap =
-        leavers == 2 ? config_.count(a) / 2 : config_.count(a) - 1;
-    m = std::min(m, std::max<Interactions>(0, cap));
-    clamped_ = sat_add(clamped_, drawn - m);
-    if (m == 0) return;
-    if (t.initiator != a) config_.move_agents(a, t.initiator, m);
-    if (t.responder != a) config_.move_agents(a, t.responder, m);
-  } else {
-    if (config_.count(a) == 0 || config_.count(b) == 0) {
-      clamped_ = sat_add(clamped_, drawn);
-      return;
-    }
-    if (t.initiator != a) m = std::min<Interactions>(m, config_.count(a));
-    if (t.responder != b) m = std::min<Interactions>(m, config_.count(b));
-    clamped_ = sat_add(clamped_, drawn - m);
-    if (m == 0) return;
-    config_.move_agents(a, t.initiator, m);
-    config_.move_agents(b, t.responder, m);
-  }
-  pairs_dirty_ = true;  // a count moved: weights and the alias table are stale
-}
+bool CollapsedSimulator::stage_round(Interactions max_interactions,
+                                     kernels::RoundTask& task) {
+  refresh_law();
 
-Interactions CollapsedSimulator::step_round(Interactions max_interactions) {
-  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
-  if (max_interactions == 0) return 0;
-  refresh_pairs();
-
-  if (pair_weight_.empty()) {
+  if (law_.empty()) {
     // Stable: every interaction is null, so leaping over the entire budget
     // is exact (no count can ever change again).
     interactions_ = sat_add(interactions_, max_interactions);
     last_round_size_ = max_interactions;
-    return max_interactions;
+    return false;
   }
 
   const Interactions batch = choose_tau(max_interactions);
@@ -147,28 +80,45 @@ Interactions CollapsedSimulator::step_round(Interactions max_interactions) {
     // pair", then the alias table picks which one — the product law is
     // exactly w(a,b)/n(n−1). Null draws leave the counts (and therefore the
     // alias table) untouched, so the O(S²) rebuild amortizes over them.
-    if (rng_.bernoulli(active_weight_ / total_weight_)) {
-      if (!alias_built_) {
-        alias_ = AliasTable(pair_weight_);
-        alias_built_ = true;
-      }
-      apply_bulk(alias_.sample(rng_), 1);
+    if (rng_.bernoulli(law_.active_weight() / law_.total_weight())) {
+      const kernels::ApplyResult applied =
+          kernels::apply_one(law_, config_, law_.alias().sample(rng_), 1);
+      clamped_ = sat_add(clamped_, applied.clamped);
+      if (applied.moved) touch_counts();
     }
-    return 1;
+    return false;
   }
 
-  // Identical-distribution batch: all `batch` draws see the start-of-round
-  // counts. Split off the null interactions with one binomial, distribute
-  // the rest over the active pairs with an exact multinomial (grouping a
-  // multinomial's buckets and splitting afterwards preserves the law).
-  const Interactions active =
-      binomial(rng_, batch, active_weight_ / total_weight_);
-  if (active == 0) return batch;
-  const std::vector<std::int64_t> draws = multinomial(rng_, active, pair_weight_);
-  for (std::size_t i = 0; i < draws.size(); ++i) {
-    if (draws[i] > 0) apply_bulk(i, draws[i]);
+  task.law = &law_;
+  task.batch = batch;
+  task.rng = &rng_;
+  task.draws = &draws_;
+  task.active = 0;
+  return true;
+}
+
+void CollapsedSimulator::commit_round(const kernels::RoundTask& task) {
+  if (task.active == 0) return;
+  const kernels::ApplyResult applied =
+      kernels::apply_draws(law_, config_, *task.draws);
+  clamped_ = sat_add(clamped_, applied.clamped);
+  if (applied.moved) touch_counts();
+}
+
+Interactions CollapsedSimulator::step_round(Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  if (max_interactions == 0) return 0;
+  // Identical-distribution batch rounds go stage → kernel → commit: all
+  // `batch` draws see the start-of-round counts; the kernel splits off the
+  // null interactions with one binomial and distributes the rest over the
+  // active pairs with an exact multinomial (grouping a multinomial's
+  // buckets and splitting afterwards preserves the law).
+  kernels::RoundTask task;
+  if (stage_round(max_interactions, task)) {
+    kernel_->advance(task);
+    commit_round(task);
   }
-  return batch;
+  return last_round_size_;
 }
 
 RunOutcome CollapsedSimulator::run_until_stable(Interactions max_interactions) {
@@ -215,8 +165,11 @@ void CollapsedSimulator::restore_checkpoint(const EngineCheckpoint& state) {
   interactions_ = state.interactions;
   clamped_ = state.clamped;
   last_round_size_ = 0;
-  pairs_dirty_ = true;
-  alias_built_ = false;
+  // One generation bump invalidates the law and (transitively) its alias
+  // table — the regression that motivated the generation chain was exactly
+  // a restore path refreshing one hand-maintained dirty flag but not the
+  // other.
+  touch_counts();
 }
 
 RunOutcome CollapsedSimulator::outcome() const {

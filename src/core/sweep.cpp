@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "ppsim/analysis/streaming_ci.hpp"
+#include "ppsim/core/collapsed_simulator.hpp"
 #include "ppsim/core/task_scheduler.hpp"
 #include "ppsim/util/check.hpp"
 #include "ppsim/util/json.hpp"
@@ -33,9 +34,11 @@ Engine SweepTrial::make_engine(const Protocol& protocol,
   // Each engine built by this trial draws its own scalar seed from the
   // trial's private stream, so a trial comparing several engines (e.g.
   // bench_gossip_compare) seeds them from disjoint draws deterministically.
+  const kernels::KernelKind kernel =
+      cell.kernel.value_or(kernels::KernelKind::kScalar);
   return Engine(cell.engine, protocol, std::move(initial), rng(),
-                {.round_divisor = cell.round_divisor},
-                {.tau_epsilon = cell.tau_epsilon});
+                {.round_divisor = cell.round_divisor, .kernel = kernel},
+                {.tau_epsilon = cell.tau_epsilon, .kernel = kernel});
 }
 
 const SweepMetricAggregate* SweepCellResult::find(const std::string& metric) const {
@@ -154,6 +157,7 @@ std::string SweepResult::to_json() const {
         .field("protocol", cr.cell.protocol)
         .field("round_divisor", cr.cell.round_divisor)
         .field("tau_epsilon", cr.cell.tau_epsilon)
+        .field("kernel", kernels::to_string(cr.cell.kernel.value_or(kernel)))
         .field("trials_requested", static_cast<std::int64_t>(cr.trials_requested))
         .field("trials_run", static_cast<std::int64_t>(cr.trials_run))
         .field("params", params)
@@ -174,6 +178,7 @@ std::string SweepResult::to_json() const {
       .field("base_seed", static_cast<std::int64_t>(base_seed))
       .field("stopping", stopping_obj)
       .field("seeding", "xoshiro256pp stream(cell * trials + trial)")
+      .field("kernel", kernels::to_string(kernel))
       .field("cells", cell_objects);
   return report.str();
 }
@@ -188,6 +193,13 @@ void SweepResult::write_json(const std::string& path) const {
 SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
   PPSIM_CHECK(!spec_.name.empty(), "sweep spec must be named");
   PPSIM_CHECK(spec_.trials > 0, "sweep needs at least one trial per cell");
+  // Stamp the spec default into every cell that didn't name its own kernel,
+  // so trial lambdas and the report see the resolved kind uniformly (and
+  // fail fast here if a requested kernel is unavailable on this host).
+  for (SweepCell& cell : spec_.cells) {
+    if (!cell.kernel.has_value()) cell.kernel = spec_.kernel;
+    (void)kernels::resolve(*cell.kernel);
+  }
 }
 
 unsigned SweepRunner::resolved_threads(const SweepSpec& spec) noexcept {
@@ -206,6 +218,11 @@ unsigned SweepRunner::resolved_threads(const SweepSpec& spec) noexcept {
 }
 
 SweepResult SweepRunner::run(const SweepTrialFn& fn) const {
+  return run(fn, LockstepPlanFn());
+}
+
+SweepResult SweepRunner::run(const SweepTrialFn& fn,
+                             const LockstepPlanFn& plan) const {
   PPSIM_CHECK(static_cast<bool>(fn), "sweep trial function must be callable");
   const TrialStopping& stopping = spec_.stopping;
   if (stopping.adaptive) {
@@ -229,6 +246,7 @@ SweepResult SweepRunner::run(const SweepTrialFn& fn) const {
   result.trials = trials;
   result.base_seed = spec_.base_seed;
   result.stopping = stopping;
+  result.kernel = spec_.kernel;
   result.threads = resolved_threads(spec_);
   result.cells.resize(num_cells);
   for (std::size_t c = 0; c < num_cells; ++c) {
@@ -245,7 +263,7 @@ SweepResult SweepRunner::run(const SweepTrialFn& fn) const {
 
   result = spec_.scheduler == SweepSchedulerKind::kStaticPool
                ? run_static_pool(fn, std::move(result))
-               : run_work_stealing(fn, std::move(result));
+               : run_work_stealing(fn, plan, std::move(result));
 
   // Aggregate sequentially (cheap relative to the trials, and sequential
   // aggregation keeps metric order = first-occurrence order deterministic).
@@ -327,12 +345,33 @@ SweepResult SweepRunner::run_static_pool(const SweepTrialFn& fn,
 }
 
 SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
+                                           const LockstepPlanFn& plan,
                                            SweepResult result) const {
   const std::size_t num_cells = spec_.cells.size();
   const std::size_t cap = spec_.trials;
   const TrialStopping& stopping = spec_.stopping;
   const std::size_t first_wave =
       stopping.adaptive ? std::min(stopping.min_trials, cap) : cap;
+
+  // Lockstep eligibility, decided up front on the controller thread. A
+  // lockstep cell's trials run in groups of the kernel's lockstep width
+  // through the collapsed engine's staging API; adaptive stopping issues
+  // trials in data-dependent waves that would split the groups, so it
+  // forces the per-trial path.
+  std::vector<std::optional<LockstepPlan>> lockstep(num_cells);
+  if (plan && !stopping.adaptive) {
+    for (std::size_t c = 0; c < num_cells; ++c) {
+      const SweepCell& cell = spec_.cells[c];
+      if (cell.engine != EngineKind::kCollapsed) continue;
+      lockstep[c] = plan(cell);
+      if (!lockstep[c].has_value()) continue;
+      PPSIM_CHECK(lockstep[c]->protocol != nullptr &&
+                      lockstep[c]->initial != nullptr &&
+                      lockstep[c]->budget > 0,
+                  "lockstep plan needs a protocol, an initial configuration "
+                  "and a positive interaction budget");
+    }
+  }
 
   // Per-cell adaptive state. `outstanding` is the only field touched by
   // concurrent trial tasks; everything else is owned by the wave controller,
@@ -367,6 +406,89 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
           const std::uint64_t seed = rng();
           const SweepTrial ctx{spec_.cells[c], c, t, index, seed, rng};
           result.cells[c].trials[t] = fn(ctx);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_release);
+        }
+      }
+      if (control[c].outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        wave_complete(c);
+      }
+    };
+  };
+
+  // Runs trials [from, to) of a lockstep cell as one group: per-lane
+  // engines replicate the per-trial seed discipline (the trial's scalar
+  // `seed` draw, then make_engine's own draw), and every round all live
+  // lanes stage their kernel task so one advance_batch call samples them
+  // together. With the scalar kernel this is draw-for-draw identical to the
+  // per-trial path; with the AVX2 kernel the lanes advance in SIMD lockstep.
+  auto run_lockstep_group = [&](std::size_t c, std::size_t from,
+                                std::size_t to) {
+    const SweepCell& cell = spec_.cells[c];
+    const LockstepPlan& lp = *lockstep[c];
+    const kernels::KernelKind kind =
+        cell.kernel.value_or(kernels::KernelKind::kScalar);
+    const kernels::RoundKernel& kernel = kernels::resolve(kind);
+    const std::size_t lanes = to - from;
+    std::vector<std::unique_ptr<CollapsedSimulator>> sims;
+    sims.reserve(lanes);
+    for (std::size_t t = from; t < to; ++t) {
+      Xoshiro256pp rng = trial_stream(spec_.base_seed, stream_index(c, cap, t));
+      (void)rng();  // the per-trial path's SweepTrial::seed draw
+      CollapsedSimulator::Options opts;
+      opts.tau_epsilon = cell.tau_epsilon;
+      opts.kernel = kind;
+      sims.push_back(std::make_unique<CollapsedSimulator>(
+          *lp.protocol, Configuration(*lp.initial), rng(), opts));
+    }
+    std::vector<kernels::RoundTask> tasks(lanes);
+    std::vector<kernels::RoundTask*> staged;
+    std::vector<std::size_t> staged_lane;
+    std::vector<bool> done(lanes, false);
+    std::size_t live = lanes;
+    while (live > 0) {
+      staged.clear();
+      staged_lane.clear();
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (done[l]) continue;
+        CollapsedSimulator& sim = *sims[l];
+        // Mirror run_until_stable's loop: stop on budget or stability,
+        // then package the same TrialResult run_engine_trial would.
+        if (sim.interactions() >= lp.budget || sim.is_stable()) {
+          TrialResult r;
+          r.stabilized = sim.is_stable();
+          r.interactions = sim.interactions();
+          r.clamped = sim.clamped_interactions();
+          r.parallel_time = sim.parallel_time();
+          r.winner = sim.consensus_output();
+          result.cells[c].trials[from + l] = consensus_metrics(r);
+          done[l] = true;
+          --live;
+          continue;
+        }
+        if (sim.stage_round(lp.budget - sim.interactions(), tasks[l])) {
+          staged.push_back(&tasks[l]);
+          staged_lane.push_back(l);
+        }
+      }
+      if (!staged.empty()) {
+        kernel.advance_batch(staged);
+        for (std::size_t i = 0; i < staged.size(); ++i) {
+          sims[staged_lane[i]]->commit_round(*staged[i]);
+        }
+      }
+    }
+  };
+
+  auto group_task = [&](std::size_t c, std::size_t from, std::size_t to) {
+    return [&, c, from, to] {
+      if (!cancelled.load(std::memory_order_acquire)) {
+        try {
+          run_lockstep_group(c, from, to);
         } catch (...) {
           {
             const std::lock_guard<std::mutex> lock(error_mutex);
@@ -418,20 +540,44 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
     submit_wave(c, cc.scheduled, std::min(cap, cc.scheduled * 2));
   };
 
+  // Lockstep cells submit one task per trial *group* (the kernel's lockstep
+  // width); everything else keeps the per-trial tasks. Groups are formed
+  // from consecutive trial indices only — never from "whatever is ready" —
+  // so the grouping is a pure function of (cell, cap, width) and results
+  // stay schedule-independent.
+  std::vector<std::size_t> group_width(num_cells, 0);
   for (std::size_t c = 0; c < num_cells; ++c) {
     if (stopping.adaptive) {
       control[c].ci = std::make_unique<StreamingCi>(stopping.confidence);
     }
-    control[c].outstanding.store(first_wave, std::memory_order_relaxed);
-    control[c].scheduled = first_wave;
+    if (lockstep[c].has_value()) {
+      const kernels::KernelKind kind =
+          spec_.cells[c].kernel.value_or(kernels::KernelKind::kScalar);
+      const std::size_t width =
+          std::max<std::size_t>(1, kernels::resolve(kind).lockstep_width());
+      group_width[c] = width;
+      const std::size_t groups = (cap + width - 1) / width;
+      control[c].outstanding.store(groups, std::memory_order_relaxed);
+      control[c].scheduled = cap;
+    } else {
+      control[c].outstanding.store(first_wave, std::memory_order_relaxed);
+      control[c].scheduled = first_wave;
+    }
   }
   // Interleave the initial submission by trial index across cells (trial 0
   // of every cell, then trial 1, ...): expensive cells start on the first
   // scheduling round instead of queueing behind every earlier cell's full
   // trial range — the convoy the static pool's cell-major order suffers.
+  // Lockstep groups join the interleave at their first trial index.
   for (std::size_t t = 0; t < first_wave; ++t) {
     for (std::size_t c = 0; c < num_cells; ++c) {
-      scheduler.submit(trial_task(c, t));
+      if (group_width[c] > 0) {
+        if (t % group_width[c] == 0 && t < cap) {
+          scheduler.submit(group_task(c, t, std::min(cap, t + group_width[c])));
+        }
+      } else {
+        scheduler.submit(trial_task(c, t));
+      }
     }
   }
   scheduler.wait_idle();
@@ -457,6 +603,7 @@ void SweepCliOptions::configure(SweepSpec& spec) const {
   spec.base_seed = seed;
   spec.threads = threads;
   spec.stopping = stopping;
+  spec.kernel = kernel;
 }
 
 SweepCliOptions read_sweep_flags(Cli& cli, std::size_t default_trials,
@@ -508,6 +655,7 @@ SweepCliOptions read_sweep_flags(Cli& cli, std::size_t default_trials,
       cli.get_int("seed", static_cast<std::int64_t>(default_seed)));
   opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.json = cli.get_string("json", default_json);
+  opts.kernel = kernels::parse_kernel_flag(cli.get_string("kernel", "auto"));
   opts.record_to = cli.get_string("record-to", "");
   opts.checkpoint_every = cli.get_int("checkpoint-every", 0);
   PPSIM_CHECK(opts.checkpoint_every >= 0,

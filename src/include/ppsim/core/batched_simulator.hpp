@@ -40,6 +40,8 @@
 #include "ppsim/core/simulator.hpp"
 #include "ppsim/core/transition_table.hpp"
 #include "ppsim/core/types.hpp"
+#include "ppsim/kernels/pair_law.hpp"
+#include "ppsim/kernels/round_kernel.hpp"
 #include "ppsim/util/rng.hpp"
 
 namespace ppsim {
@@ -52,6 +54,10 @@ class BatchedSimulator {
     /// rounds. A divisor ≥ population gives rounds of a single interaction,
     /// which reproduces the sequential chain exactly.
     Interactions round_divisor = 16;
+    /// Round-sampling backend (kernels/round_kernel.hpp). kScalar is
+    /// bit-identical to the historical draw sequence; kAvx2 throws at
+    /// construction when the build or CPU lacks it.
+    kernels::KernelKind kernel = kernels::KernelKind::kScalar;
   };
 
   /// The protocol must outlive the simulator. Requires ≥ 2 agents.
@@ -97,9 +103,15 @@ class BatchedSimulator {
   void set_recorder(Recorder* recorder) noexcept { recorder_ = recorder; }
 
   /// Snapshot / restore of the full mutable state (counts, RNG, clocks);
-  /// see Simulator::checkpoint_state for the contract.
+  /// see Simulator::checkpoint_state for the contract. The pair law is a
+  /// deterministic function of the counts, so restoring just bumps the
+  /// counts generation (the single invalidation point).
   EngineCheckpoint checkpoint_state() const;
   void restore_checkpoint(const EngineCheckpoint& state);
+
+  /// The round kernel this engine samples with (resolved from
+  /// Options::kernel at construction).
+  const kernels::RoundKernel& kernel() const noexcept { return *kernel_; }
 
  private:
   RunOutcome outcome() const;
@@ -116,13 +128,20 @@ class BatchedSimulator {
   Configuration config_;
   Xoshiro256pp rng_;
   Interactions round_size_;
+  const kernels::RoundKernel* kernel_;
   Interactions interactions_ = 0;
   Interactions clamped_ = 0;
   Recorder* recorder_ = nullptr;
-  // Scratch buffers reused across rounds to keep a round allocation-free.
-  std::vector<State> pair_a_;
-  std::vector<State> pair_b_;
-  std::vector<double> pair_weight_;
+
+  // The active-pair law, rebuilt when law_generation_ falls behind
+  // counts_generation_. Historically this engine re-enumerated the pairs
+  // every round; the rebuild is RNG-free, so skipping it while no count has
+  // moved leaves the draw sequence bit-identical and saves the O(S²) scan
+  // on null-heavy stretches.
+  kernels::PairLaw law_;
+  std::uint64_t counts_generation_ = 1;
+  std::uint64_t law_generation_ = 0;  ///< counts generation law_ was built at
+  std::vector<std::int64_t> draws_;   ///< kernel scratch (multinomial output)
 };
 
 }  // namespace ppsim

@@ -53,7 +53,8 @@
 #include "ppsim/core/simulator.hpp"
 #include "ppsim/core/transition_table.hpp"
 #include "ppsim/core/types.hpp"
-#include "ppsim/util/alias_table.hpp"
+#include "ppsim/kernels/pair_law.hpp"
+#include "ppsim/kernels/round_kernel.hpp"
 #include "ppsim/util/rng.hpp"
 
 namespace ppsim {
@@ -70,6 +71,10 @@ class CollapsedSimulator {
     /// max_round = 1 forces single-interaction rounds, i.e. the exact
     /// sequential chain.
     Interactions max_round = 0;
+    /// Round-sampling backend (kernels/round_kernel.hpp). kScalar is
+    /// bit-identical to the historical draw sequence; kAvx2 throws at
+    /// construction when the build or CPU lacks it.
+    kernels::KernelKind kernel = kernels::KernelKind::kScalar;
   };
 
   /// Largest supported population: counts and pair weights must stay exactly
@@ -123,12 +128,27 @@ class CollapsedSimulator {
   /// loops, once per round. Not owned; nullptr detaches.
   void set_recorder(Recorder* recorder) noexcept { recorder_ = recorder; }
 
-  /// Snapshot / restore of the full mutable state. The pair caches and the
+  /// Snapshot / restore of the full mutable state. The pair law and its
   /// alias table are deterministic functions of the counts, so restoring
-  /// just marks them dirty; the resumed run then makes exactly the draws
-  /// the original would have made.
+  /// just bumps the counts generation (the single invalidation point); the
+  /// resumed run then makes exactly the draws the original would have made.
   EngineCheckpoint checkpoint_state() const;
   void restore_checkpoint(const EngineCheckpoint& state);
+
+  /// The round kernel this engine samples with (resolved from
+  /// Options::kernel at construction).
+  const kernels::RoundKernel& kernel() const noexcept { return *kernel_; }
+
+  /// Lockstep staging API (the sweep runner's whole-cell kernel launches —
+  /// see SweepRunner::run's lockstep overload). stage_round picks the round
+  /// length and either handles it locally (stable leap, exact single-draw
+  /// path) returning false, or stages a kernel task over this engine's law,
+  /// RNG and scratch and returns true; the caller then runs the kernel
+  /// (possibly batched with other engines' tasks) and calls commit_round.
+  /// step_round(b) ≡ stage_round(b, t) && (kernel().advance(t),
+  /// commit_round(t)). Requires max_interactions > 0.
+  bool stage_round(Interactions max_interactions, kernels::RoundTask& task);
+  void commit_round(const kernels::RoundTask& task);
 
  private:
   RunOutcome outcome() const;
@@ -139,37 +159,34 @@ class CollapsedSimulator {
       recorder_->record_checkpoint(checkpoint_state());
     }
   }
-  /// Rebuilds the active-pair enumeration (weights, transitions, per-state
-  /// consumption) if a count changed since the last build. O(S²).
-  void refresh_pairs();
+  /// Any count mutation funnels through this single invalidation point:
+  /// the pair law (and transitively its alias table) rebuilds iff the
+  /// counts generation moved since it was last built.
+  void touch_counts() noexcept { ++counts_generation_; }
+  /// Rebuilds the pair law if a count changed since the last build. O(S²).
+  void refresh_law();
   /// Adaptive round length: min over the drift bounds, clamped to
-  /// [1, budget] and options_.max_round. Requires fresh pair data.
+  /// [1, budget] and options_.max_round. Requires a fresh law.
   Interactions choose_tau(Interactions budget) const;
-  /// Applies m interactions of active pair i with the batched engine's
-  /// overdraw clamp; marks the pair data dirty if any count moved.
-  void apply_bulk(std::size_t i, Interactions m);
 
   const Protocol& protocol_;
   TransitionTable table_;
   Configuration config_;
   Xoshiro256pp rng_;
   Options options_;
+  const kernels::RoundKernel* kernel_;
   Interactions interactions_ = 0;
   Interactions clamped_ = 0;
   Interactions last_round_size_ = 0;
   Recorder* recorder_ = nullptr;
 
-  // Active-pair data, valid while !pairs_dirty_ (counts unchanged).
-  bool pairs_dirty_ = true;
-  double total_weight_ = 0.0;   // n·(n−1), all ordered pairs
-  double active_weight_ = 0.0;  // Σ w over non-null pairs
-  std::vector<State> pair_a_;
-  std::vector<State> pair_b_;
-  std::vector<Transition> pair_t_;
-  std::vector<double> pair_weight_;
-  std::vector<double> consumption_;  // per-state Σ w_i · (agents of s removed)
-  AliasTable alias_;                 // over pair_weight_; built on demand
-  bool alias_built_ = false;
+  // The active-pair law, rebuilt when law_generation_ falls behind
+  // counts_generation_ (kernels/pair_law.hpp owns the enumeration and the
+  // lazily built alias table).
+  kernels::PairLaw law_;
+  std::uint64_t counts_generation_ = 1;
+  std::uint64_t law_generation_ = 0;  ///< counts generation law_ was built at
+  std::vector<std::int64_t> draws_;   ///< kernel scratch (multinomial output)
 };
 
 }  // namespace ppsim

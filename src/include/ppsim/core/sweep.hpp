@@ -45,6 +45,7 @@
 #include "ppsim/core/runner.hpp"
 #include "ppsim/core/task_scheduler.hpp"
 #include "ppsim/core/types.hpp"
+#include "ppsim/kernels/round_kernel.hpp"
 #include "ppsim/util/cli.hpp"
 #include "ppsim/util/rng.hpp"
 #include "ppsim/util/stats.hpp"
@@ -63,6 +64,10 @@ struct SweepCell {
   std::string protocol = "usd";
   Interactions round_divisor = 16;  ///< batched engine granularity
   double tau_epsilon = 0.05;        ///< collapsed engine drift tolerance
+  /// Round kernel for the batched/collapsed engines; nullopt inherits
+  /// SweepSpec::kernel (SweepRunner stamps the resolved kind in at
+  /// construction, so downstream readers always see a value).
+  std::optional<kernels::KernelKind> kernel;
   /// Bench-specific scalar knobs, carried into the report verbatim.
   std::vector<std::pair<std::string, double>> params;
   /// Row label for tables/reports; label() falls back to "n=..,k=..".
@@ -104,6 +109,10 @@ struct SweepSpec {
   unsigned threads = 1;           ///< worker count; 0 = hardware concurrency
   TrialStopping stopping;         ///< fixed by default
   SweepSchedulerKind scheduler = SweepSchedulerKind::kWorkStealing;
+  /// Default round kernel for cells that don't name their own. kScalar is
+  /// the determinism anchor: its draw sequence predates the kernels layer,
+  /// so every byte-identical-JSON pin assumes it.
+  kernels::KernelKind kernel = kernels::KernelKind::kScalar;
 };
 
 /// Everything one trial may depend on. `rng` is the trial's private jump
@@ -131,6 +140,25 @@ struct SweepTrial {
 using SweepMetrics = std::vector<std::pair<std::string, double>>;
 
 using SweepTrialFn = std::function<SweepMetrics(const SweepTrial&)>;
+
+/// Lockstep cell description for whole-cell kernel launches (the run()
+/// overload below). A cell is lockstep-eligible when its trial function is
+/// exactly "run the collapsed engine over `initial` to stabilization or
+/// `budget` interactions and report consensus_metrics" — the plan hands the
+/// runner enough to build the per-trial engines itself, so one kernel
+/// launch can advance a whole group of trials in lockstep. The protocol and
+/// configuration must outlive the run() call.
+struct LockstepPlan {
+  const Protocol* protocol = nullptr;
+  const Configuration* initial = nullptr;
+  Interactions budget = 0;
+};
+
+/// Returns the lockstep plan for a cell, or nullopt when the cell must run
+/// through the ordinary per-trial path (non-collapsed engine, recording,
+/// bench-specific metrics, ...).
+using LockstepPlanFn =
+    std::function<std::optional<LockstepPlan>(const SweepCell&)>;
 
 /// Per-cell aggregate of one metric (Summary: count, mean, stddev, min,
 /// p25, median, p75, max) plus the raw per-trial values in trial order.
@@ -181,6 +209,7 @@ struct SweepResult {
   std::uint64_t base_seed = 0;
   unsigned threads = 1;  ///< resolved worker count actually used
   TrialStopping stopping;
+  kernels::KernelKind kernel = kernels::KernelKind::kScalar;  ///< spec default
   std::vector<SweepCellResult> cells;
   double wall_seconds = 0.0;  ///< whole-sweep wall clock (not in the JSON)
   /// Work-stealing execution counters (zero under the static pool). Like
@@ -231,9 +260,24 @@ class SweepRunner {
   /// fixed and adaptive trial counts alike.
   SweepResult run(const SweepTrialFn& fn) const;
 
+  /// Like run(fn), but cells for which `plan` returns a LockstepPlan are
+  /// executed as whole-cell kernel launches: their trials are grouped in
+  /// runs of kernel().lockstep_width() consecutive trial indices, each
+  /// group's engines are stepped round-by-round through the staging API
+  /// (CollapsedSimulator::stage_round / commit_round) and one
+  /// advance_batch call per round samples every lane — the layout the AVX2
+  /// kernel vectorizes across. Seeding replicates the per-trial discipline
+  /// exactly, so with the scalar kernel the report is byte-identical to
+  /// run(fn) (tests/sweep_test.cpp pins this). Cells fall back to the
+  /// per-trial path when the plan is nullopt, the engine is not collapsed,
+  /// stopping is adaptive, or the scheduler is the static pool.
+  SweepResult run(const SweepTrialFn& fn, const LockstepPlanFn& plan) const;
+
  private:
   SweepResult run_static_pool(const SweepTrialFn& fn, SweepResult result) const;
-  SweepResult run_work_stealing(const SweepTrialFn& fn, SweepResult result) const;
+  SweepResult run_work_stealing(const SweepTrialFn& fn,
+                                const LockstepPlanFn& plan,
+                                SweepResult result) const;
 
   SweepSpec spec_;
 };
@@ -242,13 +286,18 @@ class SweepRunner {
 /// flags identically: --trials (a count, or auto[:rel_err] for adaptive
 /// stopping), --min-trials / --max-trials (adaptive wave floor and cap),
 /// --seed, --threads (0 = hardware), --json (unified report path; empty
-/// disables), --record-to (trajectory-archive destination; empty disables)
-/// and --checkpoint-every (checkpoint stride for recorded runs, 0 = none).
+/// disables), --kernel (auto|scalar|avx2 round-sampling backend; auto picks
+/// the widest kernel this build+CPU supports, and an explicitly requested
+/// unavailable backend fails fast with a clear error), --record-to
+/// (trajectory-archive destination; empty disables) and --checkpoint-every
+/// (checkpoint stride for recorded runs, 0 = none).
 struct SweepCliOptions {
   std::size_t trials = 1;  ///< fixed count, or the cap when stopping.adaptive
   std::uint64_t seed = 42;
   unsigned threads = 1;
   std::string json;
+  /// Resolved --kernel choice ("auto" already resolved against this host).
+  kernels::KernelKind kernel = kernels::KernelKind::kScalar;
   /// Trajectory-archive destination ("" = no recording). Binaries that
   /// record one run treat it as a file path; benches that archive a
   /// representative trial per cell treat it as a directory.

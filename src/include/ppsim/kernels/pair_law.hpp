@@ -1,0 +1,103 @@
+// The exact ordered-pair interaction law of a counts-space configuration —
+// the shared substrate of every round kernel.
+//
+// Under the uniform scheduler one interaction picks an ordered pair of
+// distinct agents, i.e. ordered state pair (a, b) with probability
+// w(a,b) / n(n−1), where w(a,b) = c_a·c_b for a ≠ b and w(a,a) = c_a·(c_a−1)
+// (an agent never interacts with itself). Both round engines need the same
+// derived data from that law each round: the enumeration of *active*
+// (non-null) pairs with their weights and transitions, the active/total
+// weight split for the null binomial, the per-state consumption rates the
+// collapsed engine's τ controller integrates, and — on the exact single-draw
+// path — a Walker/Vose alias table over the active weights. Before the
+// kernels layer existed this enumeration was written twice (collapsed and
+// batched engines, verbatim); PairLaw is the single copy both build on and
+// the structure a RoundKernel consumes.
+//
+// Cache discipline: rebuild() bumps a generation counter, and the lazily
+// built alias table records the generation it was built for — so alias
+// staleness can never desynchronize from the law itself. Engines track one
+// counter of their own (counts generation) and rebuild the law when it
+// moved; everything downstream invalidates through this single chain
+// (counts generation → law generation → alias generation) instead of
+// hand-maintained dirty flags at every mutation site.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppsim/core/configuration.hpp"
+#include "ppsim/core/transition_table.hpp"
+#include "ppsim/core/types.hpp"
+#include "ppsim/util/alias_table.hpp"
+
+namespace ppsim::kernels {
+
+class PairLaw {
+ public:
+  /// Recomputes the active-pair enumeration from the live counts. O(S²).
+  /// Bumps generation(); the alias table is invalidated implicitly.
+  void rebuild(const TransitionTable& table, const Configuration& config);
+
+  /// True when no active pair exists (the configuration is stable: every
+  /// interaction is null).
+  bool empty() const noexcept { return weight_.empty(); }
+  std::size_t size() const noexcept { return weight_.size(); }
+
+  State a(std::size_t i) const noexcept { return a_[i]; }
+  State b(std::size_t i) const noexcept { return b_[i]; }
+  const Transition& transition(std::size_t i) const noexcept { return t_[i]; }
+  double weight(std::size_t i) const noexcept { return weight_[i]; }
+  const std::vector<double>& weights() const noexcept { return weight_; }
+
+  /// Σ w over the active pairs / over all n(n−1) ordered pairs. The ratio is
+  /// the per-interaction probability of a non-null draw.
+  double active_weight() const noexcept { return active_weight_; }
+  double total_weight() const noexcept { return total_weight_; }
+
+  /// Per-state Σ w_i · (agents of s removed by pair i): the expected removal
+  /// weight the collapsed engine's τ controller bounds against ε·c_s.
+  double consumption(std::size_t s) const noexcept { return consumption_[s]; }
+  std::size_t num_states() const noexcept { return consumption_.size(); }
+
+  /// Monotone build counter; 0 before the first rebuild().
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  /// Walker/Vose alias table over weights(), built lazily and cached per
+  /// generation — callers can never observe a table from a previous build.
+  /// Requires !empty().
+  const AliasTable& alias() const;
+
+ private:
+  std::vector<State> a_;
+  std::vector<State> b_;
+  std::vector<Transition> t_;
+  std::vector<double> weight_;
+  std::vector<double> consumption_;
+  double active_weight_ = 0.0;
+  double total_weight_ = 0.0;
+  std::uint64_t generation_ = 0;
+  mutable AliasTable alias_;
+  mutable std::uint64_t alias_generation_ = 0;  ///< generation alias_ matches
+};
+
+/// Outcome of applying drawn interactions to the live counts.
+struct ApplyResult {
+  Interactions clamped = 0;  ///< attempted-but-unrealised overdraw
+  bool moved = false;        ///< any count changed (law is now stale)
+};
+
+/// Applies m interactions of active pair i with the engines' shared overdraw
+/// clamp: bulk moves are limited to the live counts so Configuration's
+/// invariants (non-negative counts, constant population) hold
+/// unconditionally even when earlier pairs in the round drained a state
+/// below what the start-of-round weights promised.
+ApplyResult apply_one(const PairLaw& law, Configuration& config, std::size_t i,
+                      Interactions m);
+
+/// Applies a whole round's multinomial draws (draws[i] interactions of pair
+/// i, in pair order) through apply_one, accumulating the clamp count.
+ApplyResult apply_draws(const PairLaw& law, Configuration& config,
+                        const std::vector<std::int64_t>& draws);
+
+}  // namespace ppsim::kernels

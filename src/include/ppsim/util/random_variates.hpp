@@ -16,7 +16,16 @@
 
 namespace ppsim {
 
-/// Exact Binomial(trials, p) sample. p is clamped to [0, 1].
+/// Exact Binomial(trials, p) sample. p is clamped to [0, 1]; NaN p throws
+/// (a NaN would silently pass the clamp and hand std::binomial_distribution
+/// an invalid parameter — undefined behavior, not a bad sample).
+///
+/// Stability at paper scale (audited for n up to 2^53, the engines' count
+/// cap): libstdc++'s implementation reflects p > 0.5 internally, switches
+/// between a waiting-time walk (small n·p) and a rejection sampler, and
+/// computes with log-space intermediates — no overflow or precision cliff
+/// at n = 10^11-scale trials with extreme p. tests/random_variates_test.cpp
+/// pins moments and tails at exactly those parameters.
 std::int64_t binomial(Xoshiro256pp& rng, std::int64_t trials, double p);
 
 /// Exact multinomial: partitions `trials` into weights.size() buckets where
@@ -26,6 +35,14 @@ std::int64_t binomial(Xoshiro256pp& rng, std::int64_t trials, double p);
 /// Throws CheckFailure on negative weights or zero total with trials > 0.
 std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,
                                       const std::vector<double>& weights);
+
+/// multinomial() into a caller-owned buffer (resized to weights.size()),
+/// so per-round callers — the scalar round kernel — don't allocate on the
+/// hot path. Identical draw sequence to multinomial(): the vector-returning
+/// overload is a wrapper around this.
+void multinomial_into(Xoshiro256pp& rng, std::int64_t trials,
+                      const std::vector<double>& weights,
+                      std::vector<std::int64_t>& out);
 
 /// Convenience overload with integer weights (counts).
 std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,

@@ -1,0 +1,36 @@
+// The scalar baseline kernel: always built, and the determinism anchor.
+//
+// Its draw sequence is exactly the engines' historical inline code — one
+// std::binomial_distribution draw for the null split, then the
+// conditional-binomial multinomial chain (multinomial_into) — so every
+// byte-identical-JSON pin and golden trajectory recorded before the kernels
+// layer existed reproduces bit for bit (tests/engine_equivalence_test.cpp
+// pins captured pre-refactor values against this kernel).
+#include "ppsim/kernels/round_kernel.hpp"
+#include "ppsim/util/random_variates.hpp"
+
+namespace ppsim::kernels {
+namespace {
+
+class ScalarKernel final : public RoundKernel {
+ public:
+  KernelKind kind() const noexcept override { return KernelKind::kScalar; }
+
+  void advance(RoundTask& task) const override {
+    const PairLaw& law = *task.law;
+    task.active = binomial(*task.rng, task.batch,
+                           law.active_weight() / law.total_weight());
+    if (task.active > 0) {
+      multinomial_into(*task.rng, task.active, law.weights(), *task.draws);
+    }
+  }
+};
+
+}  // namespace
+
+const RoundKernel& scalar_kernel() noexcept {
+  static const ScalarKernel kernel;
+  return kernel;
+}
+
+}  // namespace ppsim::kernels

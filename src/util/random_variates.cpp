@@ -11,6 +11,7 @@ namespace ppsim {
 
 std::int64_t binomial(Xoshiro256pp& rng, std::int64_t trials, double p) {
   PPSIM_CHECK(trials >= 0, "binomial trials must be non-negative");
+  PPSIM_CHECK(!std::isnan(p), "binomial p must not be NaN");
   if (trials == 0) return 0;
   p = std::clamp(p, 0.0, 1.0);
   if (p == 0.0) return 0;
@@ -19,8 +20,9 @@ std::int64_t binomial(Xoshiro256pp& rng, std::int64_t trials, double p) {
   return dist(rng);
 }
 
-std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,
-                                      const std::vector<double>& weights) {
+void multinomial_into(Xoshiro256pp& rng, std::int64_t trials,
+                      const std::vector<double>& weights,
+                      std::vector<std::int64_t>& out) {
   PPSIM_CHECK(trials >= 0, "multinomial trials must be non-negative");
   double total = 0.0;
   for (const double w : weights) {
@@ -30,7 +32,7 @@ std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,
   PPSIM_CHECK(trials == 0 || total > 0.0,
               "multinomial needs positive total weight to place trials");
 
-  std::vector<std::int64_t> out(weights.size(), 0);
+  out.assign(weights.size(), 0);
   std::int64_t remaining = trials;
   double mass = total;
   for (std::size_t i = 0; i + 1 < weights.size() && remaining > 0; ++i) {
@@ -43,6 +45,12 @@ std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,
     mass -= weights[i];
   }
   if (!weights.empty()) out.back() += remaining;
+}
+
+std::vector<std::int64_t> multinomial(Xoshiro256pp& rng, std::int64_t trials,
+                                      const std::vector<double>& weights) {
+  std::vector<std::int64_t> out;
+  multinomial_into(rng, trials, weights, out);
   return out;
 }
 

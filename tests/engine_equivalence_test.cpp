@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "ppsim/analysis/drift.hpp"
+#include "ppsim/core/batched_simulator.hpp"
 #include "ppsim/core/collapsed_simulator.hpp"
 #include "ppsim/core/graph.hpp"
 #include "ppsim/core/graph_simulator.hpp"
@@ -229,6 +230,78 @@ TEST(EngineEquivalenceTest, StabilizationTimesShareDistribution) {
               4.5 * (fast_time.sem() + table_time.sem()));
   EXPECT_NEAR(fast_time.mean(), collapsed_time.mean(),
               4.5 * (fast_time.sem() + collapsed_time.sem()));
+}
+
+// --------------------------------------- scalar-kernel determinism anchor --
+
+// Golden trajectories captured from the engines *before* the round-sampling
+// hot path moved into the ppsim::kernels layer. The scalar kernel's contract
+// is bit-identical draws to that historical inline code — these pins hold
+// the anchor in place across any future kernel-layer refactor. (The values
+// are draw-for-draw, not distributional: any change here means recorded
+// archives and byte-identical-JSON sweep pins silently broke too.)
+
+TEST(ScalarKernelGoldenTest, CollapsedAdaptiveRounds) {
+  const UndecidedStateDynamics usd(3);
+  CollapsedSimulator s(usd, Configuration({0, 40000, 35000, 25000}), 20250808);
+  for (int r = 0; r < 25; ++r) s.step_round(1'000'000'000);
+  EXPECT_EQ(s.interactions(), 83226);
+  EXPECT_EQ(s.clamped_interactions(), 0);
+  EXPECT_EQ(s.configuration().counts(),
+            (std::vector<Count>{34971, 28142, 22808, 14079}));
+}
+
+TEST(ScalarKernelGoldenTest, CollapsedSingleDrawAliasPath) {
+  const UndecidedStateDynamics usd(3);
+  CollapsedSimulator s(usd, Configuration({0, 40, 35, 25}), 777,
+                       {.max_round = 1});
+  for (int r = 0; r < 500; ++r) s.step_round(1);
+  EXPECT_EQ(s.interactions(), 500);
+  EXPECT_EQ(s.configuration().counts(), (std::vector<Count>{13, 79, 5, 3}));
+}
+
+TEST(ScalarKernelGoldenTest, BatchedFixedRounds) {
+  const UndecidedStateDynamics usd(3);
+  BatchedSimulator s(usd, Configuration({0, 40000, 35000, 25000}), 424242);
+  for (int r = 0; r < 25; ++r) s.step_round(1'000'000'000);
+  EXPECT_EQ(s.interactions(), 156250);
+  EXPECT_EQ(s.clamped_interactions(), 0);
+  EXPECT_EQ(s.configuration().counts(),
+            (std::vector<Count>{38294, 28796, 21403, 11507}));
+}
+
+TEST(ScalarKernelGoldenTest, FullRunsToStabilization) {
+  const UndecidedStateDynamics usd(3);
+  {
+    CollapsedSimulator s(usd, Configuration({0, 4000, 3500, 2500}), 99);
+    const RunOutcome out = s.run_until_stable(100'000'000);
+    EXPECT_TRUE(out.stabilized);
+    EXPECT_EQ(out.interactions, 111835);
+    EXPECT_EQ(out.consensus, std::optional<Opinion>(0));
+  }
+  {
+    BatchedSimulator s(usd, Configuration({0, 4000, 3500, 2500}), 99);
+    const RunOutcome out = s.run_until_stable(100'000'000);
+    EXPECT_TRUE(out.stabilized);
+    EXPECT_EQ(out.interactions, 122500);
+    EXPECT_EQ(out.consensus, std::optional<Opinion>(0));
+  }
+}
+
+TEST(ScalarKernelGoldenTest, ExplicitScalarKernelEqualsDefault) {
+  // Options::kernel = kScalar is the default; requesting it explicitly must
+  // route through the same registry object and the same draws.
+  const UndecidedStateDynamics usd(3);
+  CollapsedSimulator::Options copts;
+  copts.kernel = kernels::KernelKind::kScalar;
+  CollapsedSimulator expl(usd, Configuration({0, 4000, 3500, 2500}), 5, copts);
+  CollapsedSimulator dflt(usd, Configuration({0, 4000, 3500, 2500}), 5);
+  EXPECT_EQ(&expl.kernel(), &dflt.kernel());
+  for (int r = 0; r < 20; ++r) {
+    expl.step_round(1'000'000);
+    dflt.step_round(1'000'000);
+    ASSERT_EQ(expl.configuration().counts(), dflt.configuration().counts());
+  }
 }
 
 }  // namespace

@@ -192,5 +192,119 @@ TEST(Hypergeometric, LargeDrawBranchMatchesMoments) {
   EXPECT_NEAR(stats.mean(), mean, 0.1);
 }
 
+// --------------------------- binomial stability at paper-scale parameters --
+
+// The collapsed engine feeds the null-split binomial n up to the 2^53 count
+// cap with p that can be extreme on both ends (active weight is a vanishing
+// or an overwhelming fraction of n(n−1)). These pin libstdc++'s sampler in
+// exactly those regimes: no overflow, no silent saturation, and the right
+// first two moments.
+
+TEST(BinomialStability, RejectsNaNProbability) {
+  Xoshiro256pp rng(1);
+  EXPECT_THROW(binomial(rng, 10, std::nan("")), CheckFailure);
+}
+
+TEST(BinomialStability, TinyPAtHugeNMatchesThePoissonLimit) {
+  // Binomial(1e11, 1e-9) ≈ Poisson(100): mean 100, variance ~100. A naive
+  // sampler walking the CDF from 0 in linear space would underflow the pmf
+  // (log P(0) ≈ −100) or loop ~1e11 times; the real one must stay exact.
+  Xoshiro256pp rng(2024);
+  constexpr std::int64_t kN = 100'000'000'000;  // 1e11
+  constexpr double kP = 1e-9;
+  constexpr int kSamples = 2000;
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::int64_t x = binomial(rng, kN, kP);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, kN);
+    stats.add(static_cast<double>(x));
+  }
+  const double mean = static_cast<double>(kN) * kP;  // 100
+  EXPECT_NEAR(stats.mean(), mean, 6.0 * std::sqrt(mean / kSamples));
+  EXPECT_NEAR(stats.variance(), mean, 0.2 * mean);
+}
+
+TEST(BinomialStability, ReflectionAtPNearOne) {
+  // p > 0.5 exercises the sampler's internal reflection: the complement
+  // count Binomial(n, 1−p) must come out right, not the raw walk.
+  Xoshiro256pp rng(2025);
+  constexpr std::int64_t kN = 100'000'000'000;
+  constexpr double kP = 1.0 - 1e-9;
+  constexpr int kSamples = 2000;
+  RunningStats complement;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::int64_t x = binomial(rng, kN, kP);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, kN);
+    complement.add(static_cast<double>(kN - x));
+  }
+  const double mean = static_cast<double>(kN) * 1e-9;  // 100
+  EXPECT_NEAR(complement.mean(), mean, 6.0 * std::sqrt(mean / kSamples));
+}
+
+TEST(BinomialStability, HalfPAtTheCountCapKeepsExactMoments) {
+  // n = 2^53 is the engines' kMaxPopulation guard: every count is still
+  // exactly representable in a double. sd = sqrt(n)/2 ≈ 4.7e7.
+  Xoshiro256pp rng(2026);
+  constexpr std::int64_t kN = std::int64_t{1} << 53;
+  constexpr int kSamples = 400;
+  const double mean = static_cast<double>(kN) / 2.0;
+  const double sd = std::sqrt(static_cast<double>(kN)) / 2.0;
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::int64_t x = binomial(rng, kN, 0.5);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, kN);
+    // Any individual draw beyond 8σ of the mean indicates a broken sampler,
+    // not bad luck (P < 1e-15 per draw).
+    ASSERT_NEAR(static_cast<double>(x), mean, 8.0 * sd);
+    stats.add(static_cast<double>(x));
+  }
+  EXPECT_NEAR(stats.mean(), mean, 6.0 * sd / std::sqrt(kSamples));
+}
+
+TEST(BinomialStability, ExtremeTailsStayInBounds) {
+  // 6σ two-sided bound at several (n, p) corners of the engines' operating
+  // envelope; each corner gets enough draws to catch systematic bias.
+  struct Corner {
+    std::int64_t n;
+    double p;
+  };
+  const std::vector<Corner> corners = {
+      {std::int64_t{1} << 53, 1e-12}, {std::int64_t{1} << 53, 1.0 - 1e-12},
+      {1'000'000'000'000, 0.3},       {1'000'000'000'000, 0.7},
+  };
+  Xoshiro256pp rng(2027);
+  for (const Corner& c : corners) {
+    RunningStats stats;
+    constexpr int kSamples = 200;
+    const double mean = static_cast<double>(c.n) * c.p;
+    const double sd = std::sqrt(mean * (1.0 - c.p));
+    for (int i = 0; i < kSamples; ++i) {
+      const std::int64_t x = binomial(rng, c.n, c.p);
+      ASSERT_GE(x, 0) << "n=" << c.n << " p=" << c.p;
+      ASSERT_LE(x, c.n) << "n=" << c.n << " p=" << c.p;
+      stats.add(static_cast<double>(x));
+    }
+    EXPECT_NEAR(stats.mean(), mean, 6.0 * sd / std::sqrt(kSamples) + 1e-9)
+        << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(MultinomialInto, MatchesTheAllocatingOverloadDrawForDraw) {
+  // The kernels' hot path uses the buffer-reusing overload; it must consume
+  // the RNG identically to the original (the wrapper contract).
+  const std::vector<double> weights = {3.0, 1.0, 0.5, 7.5, 0.0, 2.0};
+  Xoshiro256pp a(99);
+  Xoshiro256pp b(99);
+  std::vector<std::int64_t> buffer(1, 123);  // wrong size: must be resized
+  for (int round = 0; round < 50; ++round) {
+    multinomial_into(a, 1000 + round, weights, buffer);
+    EXPECT_EQ(buffer, multinomial(b, 1000 + round, weights));
+  }
+  EXPECT_EQ(a(), b());  // identical stream positions afterwards
+}
+
 }  // namespace
 }  // namespace ppsim
