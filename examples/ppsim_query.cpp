@@ -6,6 +6,7 @@
 //   ppsim_query --archive run.pptraj --channels undecided,delta_max --every 10 --tsv -
 //   ppsim_query --archive run.pptraj --hit-channel undecided --hit-level 5000
 //   ppsim_query --archive runs/ --stats --json report.json
+//   ppsim_query --archive runs/ --jsonl | jq .samples
 //
 // --archive takes a file, a directory (scanned non-recursively; non-archive
 // files are skipped), or a comma-separated list. The --where-* predicates
@@ -15,7 +16,10 @@
 // equivalent of the hitting-time detectors — using the per-block min/max
 // footers to skip chunks that cannot contain the crossing. Output mirrors
 // the bench surface: TSV identical to ppsim_run --series, JSON via the same
-// insertion-ordered writer as the sweep reports.
+// insertion-ordered writer as the sweep reports. --jsonl streams the same
+// per-archive objects one JSON document per line to stdout (the summaries
+// arrive as archives are read, and downstream tools get line-framed input —
+// the same framing the ppsim_serve protocol uses).
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -195,6 +199,7 @@ int run(int argc, char** argv) {
   const std::string where_engine = cli.get_string("where-engine", "");
   const std::int64_t where_stabilized = cli.get_int("where-stabilized", -1);
   const std::string json_path = cli.get_string("json", "");
+  const bool jsonl = cli.get_bool("jsonl", false);
   cli.validate_no_unknown_flags();
 
   PPSIM_CHECK(!archive_flag.empty(),
@@ -217,10 +222,21 @@ int run(int argc, char** argv) {
     selected.push_back(path);
     readers.push_back(std::move(reader));
   }
-  std::cout << "archives: " << selected.size() << " selected\n";
+  if (!jsonl) std::cout << "archives: " << selected.size() << " selected\n";
 
   std::vector<JsonObject> archives_json;
   for (std::size_t i = 0; i < selected.size(); ++i) {
+    if (jsonl) {
+      // Streaming mode: one self-contained JSON document per archive, the
+      // same objects the --json report aggregates, emitted as each archive
+      // is read. Suppresses the human-readable chatter so stdout is pure
+      // line-framed JSON.
+      JsonObject obj =
+          archive_json(selected[i], readers[i], hit_channel, hit_level);
+      std::cout << obj.str() << "\n";
+      if (!json_path.empty()) archives_json.push_back(std::move(obj));
+      continue;
+    }
     if (info) print_info(selected[i], readers[i]);
     if (stats) print_stats(selected[i], readers[i], hit_channel, hit_level);
     if (!info && !stats && json_path.empty() && tsv.empty()) {
@@ -262,7 +278,7 @@ int run(int argc, char** argv) {
         .field("archives_selected", static_cast<std::int64_t>(selected.size()))
         .field("archives", archives_json);
     report.write_file(json_path);
-    std::cout << "report written to " << json_path << "\n";
+    if (!jsonl) std::cout << "report written to " << json_path << "\n";
   }
   return 0;
 }

@@ -126,44 +126,81 @@ double SweepCellResult::rate(const std::string& flag) const {
   return static_cast<double>(hits) / static_cast<double>(trials.size());
 }
 
-std::string SweepResult::to_json() const {
-  std::vector<JsonObject> cell_objects;
-  cell_objects.reserve(cells.size());
-  for (const SweepCellResult& cr : cells) {
-    JsonObject params;
-    for (const auto& [key, value] : cr.cell.params) params.field(key, value);
-    std::vector<JsonObject> metric_objects;
-    metric_objects.reserve(cr.aggregates.size());
-    for (const SweepMetricAggregate& agg : cr.aggregates) {
-      JsonObject m;
-      m.field("metric", agg.metric)
-          .field("count", agg.summary.count)
-          .field("mean", agg.summary.mean)
-          .field("stddev", agg.summary.stddev)
-          .field("min", agg.summary.min)
-          .field("p25", agg.summary.p25)
-          .field("median", agg.summary.median)
-          .field("p75", agg.summary.p75)
-          .field("max", agg.summary.max)
-          .field("values", agg.values);
-      metric_objects.push_back(m);
+void aggregate_sweep_cell(SweepCellResult& cr) {
+  // Pure function of (trials[0..trials_run), trials_run): called by the
+  // cell's last finisher during a run AND by the cell cache when replaying
+  // stored raw trials, so both paths derive identical aggregate bytes.
+  cr.trials.resize(cr.trials_run);  // drop never-run adaptive slots
+  cr.aggregates.clear();
+  std::vector<std::string> order;
+  for (const SweepMetrics& trial : cr.trials) {
+    for (const auto& [metric, value] : trial) {
+      (void)value;
+      if (std::find(order.begin(), order.end(), metric) == order.end()) {
+        order.push_back(metric);
+      }
     }
-    JsonObject c;
-    c.field("cell", cr.cell.label())
-        .field("n", cr.cell.n)
-        .field("k", static_cast<std::int64_t>(cr.cell.k))
-        .field("bias", cr.cell.bias)
-        .field("engine", to_string(cr.cell.engine))
-        .field("protocol", cr.cell.protocol)
-        .field("round_divisor", cr.cell.round_divisor)
-        .field("tau_epsilon", cr.cell.tau_epsilon)
-        .field("kernel", kernels::to_string(cr.cell.kernel.value_or(kernel)))
-        .field("trials_requested", static_cast<std::int64_t>(cr.trials_requested))
-        .field("trials_run", static_cast<std::int64_t>(cr.trials_run))
-        .field("params", params)
-        .field("metrics", metric_objects);
-    cell_objects.push_back(c);
   }
+  for (const std::string& metric : order) {
+    SweepMetricAggregate agg;
+    agg.metric = metric;
+    for (const SweepMetrics& trial : cr.trials) {
+      for (const auto& [name_, value] : trial) {
+        if (name_ == metric) agg.values.push_back(value);
+      }
+    }
+    agg.summary = summarize(agg.values);
+    cr.aggregates.push_back(std::move(agg));
+  }
+}
+
+std::string sweep_cell_json(const SweepCellResult& cr,
+                            kernels::KernelKind default_kernel) {
+  JsonObject params;
+  for (const auto& [key, value] : cr.cell.params) params.field(key, value);
+  std::vector<JsonObject> metric_objects;
+  metric_objects.reserve(cr.aggregates.size());
+  for (const SweepMetricAggregate& agg : cr.aggregates) {
+    JsonObject m;
+    m.field("metric", agg.metric)
+        .field("count", agg.summary.count)
+        .field("mean", agg.summary.mean)
+        .field("stddev", agg.summary.stddev)
+        .field("min", agg.summary.min)
+        .field("p25", agg.summary.p25)
+        .field("median", agg.summary.median)
+        .field("p75", agg.summary.p75)
+        .field("max", agg.summary.max)
+        .field("values", agg.values);
+    metric_objects.push_back(m);
+  }
+  JsonObject c;
+  c.field("cell", cr.cell.label())
+      .field("n", cr.cell.n)
+      .field("k", static_cast<std::int64_t>(cr.cell.k))
+      .field("bias", cr.cell.bias)
+      .field("engine", to_string(cr.cell.engine))
+      .field("protocol", cr.cell.protocol)
+      .field("round_divisor", cr.cell.round_divisor)
+      .field("tau_epsilon", cr.cell.tau_epsilon)
+      .field("kernel",
+             kernels::to_string(cr.cell.kernel.value_or(default_kernel)))
+      .field("trials_requested", static_cast<std::int64_t>(cr.trials_requested))
+      .field("trials_run", static_cast<std::int64_t>(cr.trials_run))
+      .field("params", params)
+      .field("metrics", metric_objects);
+  return c.str();
+}
+
+std::string SweepResult::to_json() const {
+  // The report's cell array is a verbatim join of sweep_cell_json strings —
+  // the per-cell bytes a service streams mid-job ARE the report's bytes.
+  std::string cell_array = "[";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) cell_array += ", ";
+    cell_array += sweep_cell_json(cells[c], kernel);
+  }
+  cell_array += "]";
   JsonObject stopping_obj;
   stopping_obj.field("mode", stopping.adaptive ? "auto" : "fixed");
   if (stopping.adaptive) {
@@ -179,7 +216,7 @@ std::string SweepResult::to_json() const {
       .field("stopping", stopping_obj)
       .field("seeding", "xoshiro256pp stream(cell * trials + trial)")
       .field("kernel", kernels::to_string(kernel))
-      .field("cells", cell_objects);
+      .field_json("cells", cell_array);
   return report.str();
 }
 
@@ -218,12 +255,21 @@ unsigned SweepRunner::resolved_threads(const SweepSpec& spec) noexcept {
 }
 
 SweepResult SweepRunner::run(const SweepTrialFn& fn) const {
-  return run(fn, LockstepPlanFn());
+  return run_job(fn, SweepJobOptions{});
 }
 
 SweepResult SweepRunner::run(const SweepTrialFn& fn,
                              const LockstepPlanFn& plan) const {
+  SweepJobOptions opts;
+  opts.lockstep = plan;
+  return run_job(fn, opts);
+}
+
+SweepResult SweepRunner::run_job(const SweepTrialFn& fn,
+                                 const SweepJobOptions& opts) const {
   PPSIM_CHECK(static_cast<bool>(fn), "sweep trial function must be callable");
+  PPSIM_CHECK(opts.skip.empty() || opts.skip.size() == spec_.cells.size(),
+              "job skip mask must be empty or one entry per cell");
   const TrialStopping& stopping = spec_.stopping;
   if (stopping.adaptive) {
     PPSIM_CHECK(spec_.scheduler == SweepSchedulerKind::kWorkStealing,
@@ -254,42 +300,22 @@ SweepResult SweepRunner::run(const SweepTrialFn& fn,
     result.cells[c].cell_index = c;
     result.cells[c].trials_requested = trials;
     // Pre-sized per-slot storage: every (cell, trial) task writes only its
-    // own slot, so schedule order can never leak into the result.
-    result.cells[c].trials.resize(trials);
+    // own slot, so schedule order can never leak into the result. Skipped
+    // cells stay empty — the caller splices their data in afterwards.
+    if (opts.skip.empty() || !opts.skip[c]) {
+      result.cells[c].trials.resize(trials);
+    }
   }
   if (num_cells == 0) return result;
 
   const auto start = std::chrono::steady_clock::now();
 
   result = spec_.scheduler == SweepSchedulerKind::kStaticPool
-               ? run_static_pool(fn, std::move(result))
-               : run_work_stealing(fn, plan, std::move(result));
+               ? run_static_pool(fn, opts, std::move(result))
+               : run_work_stealing(fn, opts, std::move(result));
 
-  // Aggregate sequentially (cheap relative to the trials, and sequential
-  // aggregation keeps metric order = first-occurrence order deterministic).
-  for (SweepCellResult& cr : result.cells) {
-    cr.trials.resize(cr.trials_run);  // drop never-run adaptive slots
-    std::vector<std::string> order;
-    for (const SweepMetrics& trial : cr.trials) {
-      for (const auto& [metric, value] : trial) {
-        (void)value;
-        if (std::find(order.begin(), order.end(), metric) == order.end()) {
-          order.push_back(metric);
-        }
-      }
-    }
-    for (const std::string& metric : order) {
-      SweepMetricAggregate agg;
-      agg.metric = metric;
-      for (const SweepMetrics& trial : cr.trials) {
-        for (const auto& [name_, value] : trial) {
-          if (name_ == metric) agg.values.push_back(value);
-        }
-      }
-      agg.summary = summarize(agg.values);
-      cr.aggregates.push_back(std::move(agg));
-    }
-  }
+  result.cancelled =
+      opts.cancel != nullptr && opts.cancel->load(std::memory_order_acquire);
 
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
@@ -298,25 +324,44 @@ SweepResult SweepRunner::run(const SweepTrialFn& fn,
 }
 
 SweepResult SweepRunner::run_static_pool(const SweepTrialFn& fn,
+                                         const SweepJobOptions& opts,
                                          SweepResult result) const {
   // The pre-scheduler baseline: a fixed pool walking one shared atomic
   // counter over the cell-major (cell, trial) range. Kept for measured
   // comparisons (bench_throughput --mixed-grid) and as a differential
-  // oracle: its output must match the work-stealing path byte for byte.
+  // oracle: its output must match the work-stealing path byte for byte —
+  // including the job surface, so it carries the same per-cell completion
+  // accounting (last finisher aggregates and fires on_cell).
   const std::size_t num_cells = spec_.cells.size();
   const std::size_t trials = spec_.trials;
   const std::size_t total = num_cells * trials;
-  for (SweepCellResult& cr : result.cells) cr.trials_run = trials;
+
+  const auto skipped = [&](std::size_t c) {
+    return !opts.skip.empty() && opts.skip[c];
+  };
+  const auto stop_requested = [&] {
+    return opts.cancel != nullptr &&
+           opts.cancel->load(std::memory_order_acquire);
+  };
+
+  // remaining[c] counts this cell's not-yet-finished trials; the worker
+  // that drops it to zero owns the cell's aggregation + callback.
+  std::vector<std::atomic<std::size_t>> remaining(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    remaining[c].store(trials, std::memory_order_relaxed);
+  }
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   auto worker = [&] {
     for (;;) {
+      if (stop_requested()) return;  // leave unfinished cells incomplete
       const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
       if (item >= total) return;
       const std::size_t c = item / trials;
       const std::size_t t = item % trials;
+      if (skipped(c)) continue;
       try {
         const std::uint64_t index = stream_index(c, trials, t);
         Xoshiro256pp rng = trial_stream(spec_.base_seed, index);
@@ -328,6 +373,12 @@ SweepResult SweepRunner::run_static_pool(const SweepTrialFn& fn,
         if (!first_error) first_error = std::current_exception();
         next.store(total, std::memory_order_relaxed);  // drain the queue
         return;
+      }
+      if (remaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        SweepCellResult& cr = result.cells[c];
+        cr.trials_run = trials;
+        aggregate_sweep_cell(cr);
+        if (opts.on_cell) opts.on_cell(cr);
       }
     }
   };
@@ -341,11 +392,20 @@ SweepResult SweepRunner::run_static_pool(const SweepTrialFn& fn,
     pool.clear();  // joins
   }
   if (first_error) std::rethrow_exception(first_error);
+  // A cancelled (or errored-elsewhere) job may leave cells short of their
+  // trial count; return those empty rather than half-filled.
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    SweepCellResult& cr = result.cells[c];
+    if (skipped(c) || remaining[c].load(std::memory_order_acquire) > 0) {
+      cr.trials.clear();
+      cr.trials_run = 0;
+    }
+  }
   return result;
 }
 
 SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
-                                           const LockstepPlanFn& plan,
+                                           const SweepJobOptions& opts,
                                            SweepResult result) const {
   const std::size_t num_cells = spec_.cells.size();
   const std::size_t cap = spec_.trials;
@@ -353,17 +413,21 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
   const std::size_t first_wave =
       stopping.adaptive ? std::min(stopping.min_trials, cap) : cap;
 
+  const auto skipped = [&](std::size_t c) {
+    return !opts.skip.empty() && opts.skip[c];
+  };
+
   // Lockstep eligibility, decided up front on the controller thread. A
   // lockstep cell's trials run in groups of the kernel's lockstep width
   // through the collapsed engine's staging API; adaptive stopping issues
   // trials in data-dependent waves that would split the groups, so it
   // forces the per-trial path.
   std::vector<std::optional<LockstepPlan>> lockstep(num_cells);
-  if (plan && !stopping.adaptive) {
+  if (opts.lockstep && !stopping.adaptive) {
     for (std::size_t c = 0; c < num_cells; ++c) {
       const SweepCell& cell = spec_.cells[c];
-      if (cell.engine != EngineKind::kCollapsed) continue;
-      lockstep[c] = plan(cell);
+      if (skipped(c) || cell.engine != EngineKind::kCollapsed) continue;
+      lockstep[c] = opts.lockstep(cell);
       if (!lockstep[c].has_value()) continue;
       PPSIM_CHECK(lockstep[c]->protocol != nullptr &&
                       lockstep[c]->initial != nullptr &&
@@ -373,14 +437,17 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
     }
   }
 
-  // Per-cell adaptive state. `outstanding` is the only field touched by
-  // concurrent trial tasks; everything else is owned by the wave controller,
-  // which runs exclusively (the counter reaches zero exactly once per wave,
-  // and the next wave's counter is set before any of its tasks exist).
+  // Per-cell job state. `outstanding` and `executed` are the only fields
+  // touched by concurrent trial tasks; everything else is owned by the wave
+  // controller, which runs exclusively (the counter reaches zero exactly
+  // once per wave, and the next wave's counter is set before any of its
+  // tasks exist).
   struct CellControl {
     std::atomic<std::size_t> outstanding{0};
+    std::atomic<std::size_t> executed{0};  ///< trials actually run (no holes)
     std::size_t scheduled = 0;  ///< trials submitted so far
     std::size_t consumed = 0;   ///< trials folded into the streaming CI
+    bool done = false;          ///< finish_cell ran (aggregated + delivered)
     std::unique_ptr<StreamingCi> ci;
   };
   std::vector<CellControl> control(num_cells);
@@ -389,9 +456,32 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
   std::mutex error_mutex;
   std::atomic<bool> cancelled{false};
 
+  // Cooperative stop: the caller's cancel flag or an internal trial error.
+  // Checked before *starting* work — in-flight trials always finish, so a
+  // fully executed cell can still be aggregated and delivered.
+  const auto stop_requested = [&] {
+    return cancelled.load(std::memory_order_acquire) ||
+           (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_acquire));
+  };
+
   TaskScheduler scheduler(result.threads);
 
   std::function<void(std::size_t)> wave_complete;
+
+  // Completes a cell: aggregate the deterministic trial data and hand the
+  // finished SweepCellResult to the caller. Runs on whichever worker
+  // finished the cell's last trial, concurrently with other cells' work —
+  // safe because it touches only this cell's slot and the callback's own
+  // synchronization is the callee's contract.
+  auto finish_cell = [&](std::size_t c) {
+    CellControl& cc = control[c];
+    SweepCellResult& cr = result.cells[c];
+    cr.trials_run = cc.scheduled;
+    aggregate_sweep_cell(cr);
+    cc.done = true;
+    if (opts.on_cell) opts.on_cell(cr);
+  };
 
   // One (cell, trial) task: run the trial into its pre-sized slot, then
   // decrement the cell's wave counter. The wave's last decrement (acq_rel)
@@ -399,13 +489,14 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
   // wave_complete reads settled data.
   auto trial_task = [&](std::size_t c, std::size_t t) {
     return [&, c, t] {
-      if (!cancelled.load(std::memory_order_acquire)) {
+      if (!stop_requested()) {
         try {
           const std::uint64_t index = stream_index(c, cap, t);
           Xoshiro256pp rng = trial_stream(spec_.base_seed, index);
           const std::uint64_t seed = rng();
           const SweepTrial ctx{spec_.cells[c], c, t, index, seed, rng};
           result.cells[c].trials[t] = fn(ctx);
+          control[c].executed.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
           {
             const std::lock_guard<std::mutex> lock(error_mutex);
@@ -486,9 +577,10 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
 
   auto group_task = [&](std::size_t c, std::size_t from, std::size_t to) {
     return [&, c, from, to] {
-      if (!cancelled.load(std::memory_order_acquire)) {
+      if (!stop_requested()) {
         try {
           run_lockstep_group(c, from, to);
+          control[c].executed.fetch_add(to - from, std::memory_order_relaxed);
         } catch (...) {
           {
             const std::lock_guard<std::mutex> lock(error_mutex);
@@ -515,8 +607,12 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
   wave_complete = [&](std::size_t c) {
     CellControl& cc = control[c];
     SweepCellResult& cr = result.cells[c];
-    if (!stopping.adaptive || cancelled.load(std::memory_order_acquire)) {
-      cr.trials_run = cc.scheduled;
+    // Holes (trials skipped by a stop, or lost to an error) mean this cell
+    // has incomplete data: leave it unfinished — it is cleared after the
+    // drain, and the error path rethrows anyway.
+    if (cc.executed.load(std::memory_order_relaxed) != cc.scheduled) return;
+    if (!stopping.adaptive) {
+      finish_cell(c);
       return;
     }
     // Fold the newly completed prefix into the streaming CI in trial-index
@@ -533,8 +629,10 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
     cc.consumed = cc.scheduled;
     const bool metric_unobserved = cc.ci->count() == 0;
     if (cc.scheduled >= cap || metric_unobserved ||
-        cc.ci->within_relative_error(stopping.rel_err)) {
-      cr.trials_run = cc.scheduled;
+        cc.ci->within_relative_error(stopping.rel_err) || stop_requested()) {
+      // stop_requested: don't open another wave, but this cell's completed
+      // prefix is valid deterministic data — deliver it.
+      finish_cell(c);
       return;
     }
     submit_wave(c, cc.scheduled, std::min(cap, cc.scheduled * 2));
@@ -547,6 +645,7 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
   // stay schedule-independent.
   std::vector<std::size_t> group_width(num_cells, 0);
   for (std::size_t c = 0; c < num_cells; ++c) {
+    if (skipped(c)) continue;  // no tasks, no waves, no callback
     if (stopping.adaptive) {
       control[c].ci = std::make_unique<StreamingCi>(stopping.confidence);
     }
@@ -571,6 +670,7 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
   // Lockstep groups join the interleave at their first trial index.
   for (std::size_t t = 0; t < first_wave; ++t) {
     for (std::size_t c = 0; c < num_cells; ++c) {
+      if (skipped(c)) continue;
       if (group_width[c] > 0) {
         if (t % group_width[c] == 0 && t < cap) {
           scheduler.submit(group_task(c, t, std::min(cap, t + group_width[c])));
@@ -583,6 +683,15 @@ SweepResult SweepRunner::run_work_stealing(const SweepTrialFn& fn,
   scheduler.wait_idle();
   result.scheduler_stats = scheduler.stats();
   if (first_error) std::rethrow_exception(first_error);
+  // Cells a stop left incomplete come back empty, never half-filled.
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    SweepCellResult& cr = result.cells[c];
+    if (skipped(c) || !control[c].done) {
+      cr.trials.clear();
+      cr.trials_run = 0;
+      cr.aggregates.clear();
+    }
+  }
   return result;
 }
 

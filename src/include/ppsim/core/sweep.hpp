@@ -34,6 +34,7 @@
 // per-trial slots, so no locking is needed downstream).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -168,6 +169,17 @@ struct SweepMetricAggregate {
   std::vector<double> values;
 };
 
+struct SweepCellResult;
+
+/// Rebuilds a cell's aggregates from its raw per-trial metrics: resizes
+/// `trials` down to `trials_run`, then recomputes `aggregates` (metric order
+/// = first occurrence across trials in trial-index order, values in trial
+/// order, Summary via util/stats summarize()). This is THE aggregation path
+/// — the runner calls it when a cell completes, and the cell cache calls it
+/// when replaying stored raw trials, so a cache hit re-derives byte-identical
+/// aggregates instead of trusting stored ones.
+void aggregate_sweep_cell(SweepCellResult& cr);
+
 struct SweepCellResult {
   SweepCell cell;
   std::size_t cell_index = 0;
@@ -211,6 +223,12 @@ struct SweepResult {
   TrialStopping stopping;
   kernels::KernelKind kernel = kernels::KernelKind::kScalar;  ///< spec default
   std::vector<SweepCellResult> cells;
+  /// True when a cooperative cancel (SweepJobOptions::cancel) was observed:
+  /// cells that completed every scheduled trial are delivered normally, the
+  /// rest are returned empty (trials_run = 0, no aggregates). Like
+  /// wall_seconds this is runtime state, deliberately NOT in the JSON — a
+  /// cancelled job must never masquerade as a (differently shaped) report.
+  bool cancelled = false;
   double wall_seconds = 0.0;  ///< whole-sweep wall clock (not in the JSON)
   /// Work-stealing execution counters (zero under the static pool). Like
   /// wall_seconds these are timing-dependent, so they stay out of the JSON.
@@ -223,6 +241,50 @@ struct SweepResult {
   std::string to_json() const;
   /// Writes to_json() (plus trailing newline) to `path`; empty path = no-op.
   void write_json(const std::string& path) const;
+};
+
+/// One cell's entry of the unified report, rendered standalone.
+/// `default_kernel` resolves cells whose kernel is nullopt (SweepResult
+/// passes its spec default). Exposed so the sweep service can stream a cell
+/// the moment it completes using exactly the bytes the final report will
+/// contain — to_json() is a join of these strings, nothing more.
+std::string sweep_cell_json(const SweepCellResult& cr,
+                            kernels::KernelKind default_kernel);
+
+/// Completion callback for one sweep cell: fired exactly once per completed
+/// cell, by whichever worker finishes the cell's last trial (the "last
+/// finisher"), with the cell's fully aggregated deterministic result. The
+/// invocation ORDER across cells follows completion and is therefore
+/// schedule-dependent — but every delivered SweepCellResult is the same
+/// bytes at any thread count, and the assembled SweepResult orders cells by
+/// index regardless (tests/sweep_test.cpp pins JSON invariance under
+/// callback order). Callbacks may run concurrently from different workers;
+/// the callee synchronizes. Keep them cheap: a slow callback stalls one
+/// worker, not the job.
+using SweepCellCallback = std::function<void(const SweepCellResult&)>;
+
+/// Options for SweepRunner::run_job — the asynchronous-consumption form of a
+/// sweep that the service layer builds on. run(fn) is run_job with all
+/// defaults.
+struct SweepJobOptions {
+  /// Per-cell completion callback (see SweepCellCallback); null = none.
+  SweepCellCallback on_cell;
+  /// Lockstep eligibility plan (the run(fn, plan) overload's second arg).
+  LockstepPlanFn lockstep;
+  /// Cooperative cancellation: when non-null and *cancel becomes true,
+  /// workers stop STARTING trials. Trials already in flight finish; cells
+  /// whose every scheduled trial still completed are aggregated and
+  /// delivered via on_cell as usual, the rest come back empty and the
+  /// returned SweepResult has cancelled = true. The flag must outlive the
+  /// run_job call (which blocks until in-flight work drains).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-cell skip mask (empty = run everything). Skipped cells execute no
+  /// trials and fire no callback; they come back empty (trials_run = 0) at
+  /// their original cell_index, which is what keeps the seeding discipline
+  /// intact when a caller splices in cached results: stream indices are
+  /// cell_index * trials + trial, so cached cells must keep their position
+  /// rather than being compacted out of the spec.
+  std::vector<bool> skip;
 };
 
 class SweepRunner {
@@ -254,10 +316,12 @@ class SweepRunner {
   static unsigned resolved_threads(const SweepSpec& spec) noexcept;
 
   /// Runs trials x cells over the scheduler and aggregates. Every task
-  /// writes only its own pre-sized result slot and stopping decisions are
-  /// evaluated over deterministic trial-index prefixes, so the outcome is
-  /// independent of scheduling — byte-identical JSON at any --threads, for
-  /// fixed and adaptive trial counts alike.
+  /// writes only its own pre-sized result slot, stopping decisions are
+  /// evaluated over deterministic trial-index prefixes, and per-cell
+  /// aggregation is a pure function of the cell's trial data — so the
+  /// outcome is independent of scheduling: byte-identical JSON at any
+  /// --threads, for fixed and adaptive trial counts alike. Thin wrapper
+  /// over run_job with default options.
   SweepResult run(const SweepTrialFn& fn) const;
 
   /// Like run(fn), but cells for which `plan` returns a LockstepPlan are
@@ -270,13 +334,26 @@ class SweepRunner {
   /// exactly, so with the scalar kernel the report is byte-identical to
   /// run(fn) (tests/sweep_test.cpp pins this). Cells fall back to the
   /// per-trial path when the plan is nullopt, the engine is not collapsed,
-  /// stopping is adaptive, or the scheduler is the static pool.
+  /// stopping is adaptive, or the scheduler is the static pool. Thin
+  /// wrapper over run_job.
   SweepResult run(const SweepTrialFn& fn, const LockstepPlanFn& plan) const;
 
+  /// The job form both run() overloads delegate to: a sweep submission with
+  /// incremental result assembly. Each cell is aggregated by its last
+  /// finisher the moment its final trial lands (not in a sequential pass at
+  /// the end), opts.on_cell streams completed cells to the caller while
+  /// later cells are still running, opts.cancel stops the job
+  /// cooperatively, and opts.skip leaves chosen cells empty at their
+  /// original index for the caller to fill (the cache-hit path). Blocks
+  /// until the job drains; rethrows the first trial exception.
+  SweepResult run_job(const SweepTrialFn& fn, const SweepJobOptions& opts) const;
+
  private:
-  SweepResult run_static_pool(const SweepTrialFn& fn, SweepResult result) const;
+  SweepResult run_static_pool(const SweepTrialFn& fn,
+                              const SweepJobOptions& opts,
+                              SweepResult result) const;
   SweepResult run_work_stealing(const SweepTrialFn& fn,
-                                const LockstepPlanFn& plan,
+                                const SweepJobOptions& opts,
                                 SweepResult result) const;
 
   SweepSpec spec_;

@@ -1,0 +1,63 @@
+// Token-bucket rate limiting for the sweep service.
+//
+// Each client connection gets its own bucket: `capacity` tokens of burst,
+// refilled continuously at `refill_per_second`. A request costs one token;
+// when the bucket is dry the server answers an error line instead of
+// queueing work — a sweep job can pin every core for seconds, so admission
+// control has to happen before the job queue, not inside it.
+//
+// Time is injected by the caller (seconds on an arbitrary monotonic axis)
+// rather than read from a clock here, so the refill arithmetic is testable
+// deterministically and the server can use one steady_clock read per
+// request.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace ppsim::net {
+
+/// One token bucket. Not thread-safe; ClientRateLimiter adds the locking.
+class TokenBucket {
+ public:
+  /// `capacity` = maximum burst (also the initial fill), must be >= 1;
+  /// `refill_per_second` = sustained request rate, must be > 0.
+  TokenBucket(double capacity, double refill_per_second);
+
+  /// Takes one token if available at `now_seconds`. Calls with a
+  /// non-monotone `now_seconds` are treated as "no time has passed".
+  bool try_acquire(double now_seconds);
+
+  /// Tokens available at `now_seconds` (refill applied, nothing consumed).
+  double available(double now_seconds);
+
+ private:
+  void refill(double now_seconds);
+
+  double capacity_;
+  double refill_per_second_;
+  double tokens_;
+  double last_refill_ = 0.0;
+  bool started_ = false;  ///< first call anchors the time axis
+};
+
+/// Per-client token buckets, keyed by an opaque client id (the server uses
+/// the connection number). Buckets are created full on first sight and
+/// never expire — client ids are bounded by the accept counter, not by an
+/// open namespace. Thread-safe.
+class ClientRateLimiter {
+ public:
+  ClientRateLimiter(double capacity, double refill_per_second);
+
+  /// One token from `client`'s bucket at `now_seconds`.
+  bool try_acquire(std::uint64_t client, double now_seconds);
+
+ private:
+  double capacity_;
+  double refill_per_second_;
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, TokenBucket> buckets_;
+};
+
+}  // namespace ppsim::net

@@ -1,0 +1,74 @@
+// SweepServer: the socket front of the sweep service.
+//
+// One accept loop, one thread per connection, line-delimited JSON both
+// ways. Each request line is a JSON object with a "type" member:
+//
+//   {"type":"submit", ...}        -> cell lines, then a done line
+//   {"type":"stats"}              -> one stats line (cache + service counters)
+//   {"type":"archive_stats",      -> one line per archive summarised via
+//    "archive":"FILE|DIR|a,b"}       TrajectoryReader (read-only), then a
+//                                    done line — the daemon subsumes
+//                                    ppsim_query's summary mode
+//
+// Anything malformed answers {"type":"error","error":...} and keeps the
+// connection; request admission is a per-client token bucket (capacity =
+// burst, refill = sustained rate), and a rejected request costs an error
+// line, never a queued job. A client that disappears mid-stream cancels its
+// job cooperatively via the service's emit-returns-false path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppsim/net/rate_limiter.hpp"
+#include "ppsim/net/service.hpp"
+#include "ppsim/net/socket.hpp"
+
+namespace ppsim::net {
+
+struct ServerConfig {
+  std::string socket_path;
+  ServiceConfig service;
+  /// Token-bucket admission per client connection.
+  double rate_burst = 8.0;      ///< bucket capacity (requests)
+  double rate_per_second = 4.0; ///< sustained refill rate
+  /// Stop after this many accepted connections; 0 = serve forever. The CI
+  /// smoke lane uses it to run a bounded daemon without kill/trap plumbing.
+  std::uint64_t accept_limit = 0;
+};
+
+class SweepServer {
+ public:
+  explicit SweepServer(ServerConfig config);
+  ~SweepServer();
+
+  /// Binds the socket and serves until stop() (or accept_limit). Blocks.
+  void run();
+
+  /// Wakes the accept loop and asks in-flight jobs to cancel; run() then
+  /// joins every connection thread before returning. Safe from any thread.
+  void stop();
+
+  SweepService& service() noexcept { return service_; }
+  const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+
+ private:
+  void serve_connection(Socket socket, std::uint64_t client_id);
+  void handle_request(LineChannel& channel, const std::string& line);
+
+  ServerConfig config_;
+  SweepService service_;
+  ClientRateLimiter limiter_;
+  std::atomic<bool> stopping_{false};
+  Listener* listener_ = nullptr;  ///< run()-scoped, for stop() to close
+  std::mutex listener_mutex_;
+  std::vector<std::thread> connections_;
+  std::mutex connections_mutex_;
+};
+
+}  // namespace ppsim::net

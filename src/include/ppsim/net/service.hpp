@@ -1,0 +1,95 @@
+// SweepService: the transport-independent core of the ppsim_serve daemon.
+//
+// A service owns one CellCache and executes submitted sweep jobs against it:
+//
+//   submit request (parsed JSON)  ->  SweepSpec mirroring ppsim_run
+//   per-cell cache lookup         ->  hits emitted immediately, in order
+//   run_job over the misses       ->  each completed cell inserted + emitted
+//   end-of-job summary            ->  the full unified report, byte-identical
+//                                     to what an offline ppsim_run --json
+//                                     writes for the same single-cell spec
+//
+// The byte-identity chain is the whole design: the spec built here uses
+// exactly ppsim_run's construction (auto bias = whp_bias(n), budget =
+// max_parallel * n, adversarial initial configuration, the same two USD
+// trial bodies), cells stream through sweep_cell_json (the report's own
+// renderer), and cache hits replay raw trials through aggregate_sweep_cell.
+// A warm job therefore re-executes zero trials and still returns the same
+// bytes as the cold one — tests/service_test.cpp pins all of it.
+//
+// Only --protocol usd is served: it is the paper's protocol, and every
+// cacheable input of its two trial bodies is captured by the canonical cell
+// key plus the trial_fn_id strings below. Serving a protocol whose trial
+// closure captures state the key cannot see would silently poison the cache.
+//
+// Jobs are serialized by an internal mutex (one sweep saturates the worker
+// pool; interleaving two would just thrash), but stats_json() and the cache
+// are safe to read concurrently from other connections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "ppsim/cache/cell_cache.hpp"
+#include "ppsim/util/json_parse.hpp"
+
+namespace ppsim::net {
+
+struct ServiceConfig {
+  /// In-memory LRU capacity of the cell cache, in cells.
+  std::size_t cache_memory = 256;
+  /// Persistent cache directory; "" = memory-only.
+  std::string cache_dir;
+  /// Worker-thread cap for a job; 0 honours each request's "threads" field
+  /// (which itself defaults to 1, and never changes result bytes).
+  unsigned max_threads = 0;
+  /// Request validation caps — a local client is trusted not to be
+  /// malicious, but not to be free of typos that would pin the machine.
+  std::size_t max_cells = 4096;
+  std::size_t max_trials = 100000;
+};
+
+/// Monotone service counters, exposed via stats_json() and the /stats
+/// request.
+struct ServiceCounters {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t cells_served = 0;       ///< total cells delivered
+  std::uint64_t cells_from_cache = 0;   ///< delivered without executing
+  std::uint64_t trials_executed = 0;    ///< trials actually run (cold cells)
+};
+
+class SweepService {
+ public:
+  explicit SweepService(ServiceConfig config);
+
+  /// Sink for response lines (one JSON document each, no trailing newline).
+  /// Returning false cancels the job cooperatively — the transport uses it
+  /// to abandon work for a vanished client.
+  using EmitFn = std::function<bool(const std::string& line)>;
+
+  /// Executes one submit request, streaming `cell` lines and a final `done`
+  /// line through `emit`. Throws CheckFailure on an invalid request (the
+  /// transport turns it into an error line). `cancel`, when non-null, stops
+  /// the job cooperatively from outside (server shutdown).
+  void run_job(const JsonValue& request, const EmitFn& emit,
+               const std::atomic<bool>* cancel = nullptr);
+
+  /// Cache + service counters as one JSON line (the /stats response body).
+  std::string stats_json() const;
+
+  ServiceCounters counters() const;
+  cache::CellCacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  ServiceConfig config_;
+  cache::CellCache cache_;
+  mutable std::mutex counters_mutex_;
+  ServiceCounters counters_;
+  std::mutex job_mutex_;  ///< one sweep job at a time
+};
+
+}  // namespace ppsim::net

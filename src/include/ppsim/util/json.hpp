@@ -16,7 +16,9 @@ namespace ppsim {
 
 /// JSON object/array builder (numbers, strings, booleans, nested objects and
 /// arrays), no external dependency. Values are rendered eagerly in insertion
-/// order; doubles use 12 significant digits so equal doubles render equally.
+/// order; doubles use canonical shortest round-trip formatting (see
+/// render_double) so equal doubles render equally, distinct doubles render
+/// distinctly, and the bytes never depend on the host libc.
 class JsonObject {
  public:
   JsonObject& field(const std::string& key, const std::string& value);
@@ -40,7 +42,11 @@ class JsonObject {
 
   /// RFC 8259 string escaping (exposed for the reporter's array rendering).
   static std::string escape(const std::string& s);
-  /// The number rendering used by double fields (12 significant digits).
+  /// The canonical number rendering used by double fields: integral values
+  /// within the exact-integer range (|v| < 2^53) as plain digits, everything
+  /// else as the shortest string that parses back to the identical double
+  /// (std::to_chars general form — no libc printf involved, so the bytes are
+  /// platform-invariant). Cache keys and byte-identity pins depend on this.
   static std::string render_double(double v);
 
  private:

@@ -1,0 +1,83 @@
+// Minimal JSON parser: the decoding counterpart of util/json's writer.
+//
+// The sweep service speaks line-delimited JSON over a local socket, so the
+// library needs to *read* JSON for the first time — requests arrive from
+// untrusted clients and must parse without crashing, recursing without
+// bound, or accepting garbage silently. The parser is a strict RFC 8259
+// recursive-descent over a string_view: no comments, no trailing commas, no
+// NaN/Infinity literals, a hard nesting-depth cap, and the whole input must
+// be consumed (a requirement for line-framed protocols — trailing bytes on
+// a request line are an error, not a second message).
+//
+// JsonValue is a small immutable variant; object member order is preserved
+// (mirroring the writer's insertion-ordered rendering) and duplicate keys
+// are rejected. Accessors throw CheckFailure on type mismatches so service
+// request validation collapses to "parse, then read the fields you expect".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ppsim {
+
+namespace detail {
+struct JsonParser;
+}
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses `text` as one complete JSON value (throws CheckFailure on any
+  /// syntax error, on nesting deeper than 64 levels, and on trailing
+  /// non-whitespace bytes).
+  static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;  // null
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+
+  /// Typed accessors; throw CheckFailure when the value is another type.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number, checked to be integral and in the int64 range.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  /// Object members in source order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent (throws when not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Member lookup that throws CheckFailure when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Convenience getters with defaults, for flat request objects. Each
+  /// throws CheckFailure when the member exists but has the wrong type.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_number(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  friend struct detail::JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,59 @@
+#include "ppsim/net/rate_limiter.hpp"
+
+#include <algorithm>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim::net {
+
+TokenBucket::TokenBucket(double capacity, double refill_per_second)
+    : capacity_(capacity),
+      refill_per_second_(refill_per_second),
+      tokens_(capacity) {
+  PPSIM_CHECK(capacity_ >= 1.0, "token bucket capacity must be >= 1");
+  PPSIM_CHECK(refill_per_second_ > 0.0, "token bucket refill rate must be > 0");
+}
+
+void TokenBucket::refill(double now_seconds) {
+  if (!started_) {
+    started_ = true;
+    last_refill_ = now_seconds;
+    return;
+  }
+  if (now_seconds <= last_refill_) return;  // non-monotone caller clock
+  tokens_ = std::min(capacity_,
+                     tokens_ + (now_seconds - last_refill_) * refill_per_second_);
+  last_refill_ = now_seconds;
+}
+
+bool TokenBucket::try_acquire(double now_seconds) {
+  refill(now_seconds);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(double now_seconds) {
+  refill(now_seconds);
+  return tokens_;
+}
+
+ClientRateLimiter::ClientRateLimiter(double capacity, double refill_per_second)
+    : capacity_(capacity), refill_per_second_(refill_per_second) {
+  // Validate eagerly: a bad rate should fail at server construction, not on
+  // the first request.
+  TokenBucket probe(capacity, refill_per_second);
+  (void)probe;
+}
+
+bool ClientRateLimiter::try_acquire(std::uint64_t client, double now_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(client, TokenBucket(capacity_, refill_per_second_))
+             .first;
+  }
+  return it->second.try_acquire(now_seconds);
+}
+
+}  // namespace ppsim::net

@@ -1,7 +1,8 @@
 #include "ppsim/util/json.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
-#include <sstream>
 
 #include "ppsim/util/check.hpp"
 
@@ -32,10 +33,24 @@ std::string JsonObject::escape(const std::string& s) {
 }
 
 std::string JsonObject::render_double(double v) {
-  std::ostringstream os;
-  os.precision(12);
-  os << v;
-  return os.str();
+  // Canonical emission: equal doubles must render equally and *distinct*
+  // doubles must render distinctly, on every platform — sweep reports are
+  // byte-compared across runs and the cell cache keys on rendered spec
+  // strings, so a libc-dependent printf (or a fixed 12-digit precision that
+  // conflates neighbouring doubles) would silently break both. Integral
+  // values inside the exact-integer range render as plain digits (keeps
+  // interaction counts readable); everything else uses std::to_chars'
+  // shortest round-trip form, which is locale- and libc-independent.
+  constexpr double kExactIntegerBound = 9007199254740992.0;  // 2^53
+  if (std::isfinite(v) && v == std::floor(v) &&
+      std::fabs(v) < kExactIntegerBound) {
+    if (v == 0.0 && std::signbit(v)) return "-0";
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  const std::to_chars_result res =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general);
+  return std::string(buf, res.ptr);
 }
 
 JsonObject& JsonObject::field(const std::string& key, const std::string& value) {

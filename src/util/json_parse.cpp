@@ -1,0 +1,331 @@
+#include "ppsim/util/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim {
+
+namespace detail {
+
+/// Strict RFC 8259 recursive descent. Befriended by JsonValue so the
+/// builders can fill the private variant state directly.
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CheckFailure("json parse error at byte " + std::to_string(pos) +
+                       ": " + what);
+  }
+
+  bool at_end() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return at_end() ? '\0' : text[pos]; }
+
+  void skip_ws() noexcept {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                         text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) noexcept {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+      ++pos;
+    }
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!consume('\\') || !consume('u')) fail("lone high surrogate");
+            const std::uint32_t lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos;
+    // Validate the RFC 8259 grammar by hand (from_chars/strtod accept hex,
+    // inf, nan and leading '+', none of which are JSON), then convert the
+    // validated span.
+    consume('-');
+    if (consume('0')) {
+      // A leading zero takes no further integer digits.
+    } else {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required after '.'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos;
+      if (peek() == '+' || peek() == '-') ++pos;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    double value = 0.0;
+    const char* first = text.data() + start;
+    const char* last = text.data() + pos;
+    const std::from_chars_result res = std::from_chars(first, last, value);
+    if (res.ec == std::errc::result_out_of_range) {
+      // Overflow to ±inf / underflow to 0, as strtod would; JSON puts no
+      // bound on magnitude, so accept the clamped value instead of failing.
+      value = std::strtod(std::string(first, last).c_str(), nullptr);
+    } else if (res.ec != std::errc{} || res.ptr != last) {
+      fail("invalid number");
+    }
+    return value;
+  }
+
+  bool consume_keyword(std::string_view kw) noexcept {
+    if (text.substr(pos, kw.size()) != kw) return false;
+    pos += kw.size();
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    JsonValue out;
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        out.type_ = JsonValue::Type::kObject;
+        skip_ws();
+        if (consume('}')) return out;
+        for (;;) {
+          skip_ws();
+          std::string key = string_body();
+          for (const auto& [existing, member] : out.members_) {
+            (void)member;
+            if (existing == key) fail("duplicate object key \"" + key + "\"");
+          }
+          skip_ws();
+          expect(':');
+          out.members_.emplace_back(std::move(key), value(depth + 1));
+          skip_ws();
+          if (consume(',')) continue;
+          expect('}');
+          return out;
+        }
+      }
+      case '[': {
+        ++pos;
+        out.type_ = JsonValue::Type::kArray;
+        skip_ws();
+        if (consume(']')) return out;
+        for (;;) {
+          out.items_.push_back(value(depth + 1));
+          skip_ws();
+          if (consume(',')) continue;
+          expect(']');
+          return out;
+        }
+      }
+      case '"':
+        out.type_ = JsonValue::Type::kString;
+        out.string_ = string_body();
+        return out;
+      case 't':
+        if (!consume_keyword("true")) fail("invalid literal");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = true;
+        return out;
+      case 'f':
+        if (!consume_keyword("false")) fail("invalid literal");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = false;
+        return out;
+      case 'n':
+        if (!consume_keyword("null")) fail("invalid literal");
+        out.type_ = JsonValue::Type::kNull;
+        return out;
+      default:
+        out.type_ = JsonValue::Type::kNumber;
+        out.number_ = number();
+        return out;
+    }
+  }
+};
+
+}  // namespace detail
+
+JsonValue JsonValue::parse(std::string_view text) {
+  detail::JsonParser p{text};
+  JsonValue out = p.value(0);
+  p.skip_ws();
+  if (!p.at_end()) p.fail("trailing bytes after the JSON value");
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, JsonValue::Type got) {
+  static constexpr const char* kNames[] = {"null",   "bool",  "number",
+                                           "string", "array", "object"};
+  throw CheckFailure(std::string("json value is ") +
+                     kNames[static_cast<int>(got)] + ", wanted " + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double v = as_number();
+  constexpr double kBound = 9223372036854775808.0;  // 2^63
+  PPSIM_CHECK(v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+                  v >= -kBound && v < kBound,
+              "json number is not an exact int64");
+  return static_cast<std::int64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  PPSIM_CHECK(v != nullptr, "missing json member \"" + key + "\"");
+  return *v;
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+double JsonValue::get_number(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+std::int64_t JsonValue::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_int();
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+}  // namespace ppsim

@@ -1,0 +1,110 @@
+// Canonical JSON number emission: shortest round-trip formatting.
+//
+// The sweep reports are byte-compared across runs/threads/schedulers and the
+// cell cache derives content-addressed keys from rendered spec strings, so
+// JsonObject::render_double must be a pure, platform-invariant function of
+// the double: equal doubles render equally, distinct doubles render
+// distinctly, and every rendered string parses back to the identical bits.
+// The previous fixed 12-significant-digit printf broke the second property
+// (neighbouring doubles conflated) and delegated rounding to the host libc.
+#include "ppsim/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+
+namespace ppsim {
+namespace {
+
+double reparse(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+
+TEST(JsonCanonicalTest, CommonValuesKeepTheirNaturalSpelling) {
+  EXPECT_EQ(JsonObject::render_double(0.0), "0");
+  EXPECT_EQ(JsonObject::render_double(1.0), "1");
+  EXPECT_EQ(JsonObject::render_double(-1.0), "-1");
+  EXPECT_EQ(JsonObject::render_double(0.5), "0.5");
+  EXPECT_EQ(JsonObject::render_double(0.1), "0.1");
+  EXPECT_EQ(JsonObject::render_double(16.5), "16.5");
+  EXPECT_EQ(JsonObject::render_double(0.05), "0.05");
+  EXPECT_EQ(JsonObject::render_double(0.2), "0.2");
+  EXPECT_EQ(JsonObject::render_double(850000.0), "850000");
+}
+
+TEST(JsonCanonicalTest, IntegralValuesRenderAsPlainDigitsUpToTwoPow53) {
+  // Interaction counts at n = 10^11 reach ~10^13; they must stay readable
+  // integers instead of flipping to scientific notation mid-range.
+  EXPECT_EQ(JsonObject::render_double(1e6), "1000000");
+  EXPECT_EQ(JsonObject::render_double(1e12), "1000000000000");
+  EXPECT_EQ(JsonObject::render_double(1e13), "10000000000000");
+  EXPECT_EQ(JsonObject::render_double(-123456789012345.0), "-123456789012345");
+  EXPECT_EQ(JsonObject::render_double(9007199254740991.0), "9007199254740991");
+  // Past 2^53 integers are no longer exact; shortest-form takes over.
+  EXPECT_EQ(JsonObject::render_double(1e16), "1e+16");
+}
+
+TEST(JsonCanonicalTest, NegativeZeroKeepsItsSign) {
+  EXPECT_EQ(JsonObject::render_double(-0.0), "-0");
+  EXPECT_TRUE(std::signbit(reparse(JsonObject::render_double(-0.0))));
+}
+
+TEST(JsonCanonicalTest, ShortestFormStillRoundTripsBitExactly) {
+  const double values[] = {
+      1.0 / 3.0,
+      0.7071067811865476,       // sqrt(0.5): needs 16 digits
+      35355.33905932738,        // the old 12-digit render truncated this
+      2.2250738585072014e-308,  // DBL_MIN
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::denorm_min(),
+      6.02214076e23,
+      1.5e-7,
+      3.141592653589793,
+  };
+  for (const double v : values) {
+    const std::string s = JsonObject::render_double(v);
+    const double r = reparse(s);
+    EXPECT_EQ(std::memcmp(&v, &r, sizeof v), 0)
+        << "render '" << s << "' did not round-trip " << v;
+  }
+}
+
+TEST(JsonCanonicalTest, AdjacentDoublesRenderDistinctly) {
+  // The regression the 12-digit printf had: doubles differing only past the
+  // 12th significant digit rendered identically, so two different results
+  // could collide on one cache key (and a byte-identity pin could pass on
+  // actually-divergent data).
+  const double a = 0.7071067811865476;
+  const double b = std::nextafter(a, 1.0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(JsonObject::render_double(a), JsonObject::render_double(b));
+  EXPECT_EQ(JsonObject::render_double(1.0000000000000002),
+            "1.0000000000000002");
+}
+
+TEST(JsonCanonicalTest, RandomDoublesRoundTripThroughTheRenderer) {
+  std::mt19937_64 gen(12345);
+  std::uniform_real_distribution<double> mantissa(-1.0, 1.0);
+  std::uniform_int_distribution<int> exponent(-300, 300);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::ldexp(mantissa(gen), exponent(gen));
+    const std::string s = JsonObject::render_double(v);
+    const double back = reparse(s);
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+        << "'" << s << "' lost bits of " << v;
+  }
+}
+
+TEST(JsonCanonicalTest, FieldAndArrayRenderingUseTheCanonicalForm) {
+  JsonObject obj;
+  obj.field("t", 0.7071067811865476)
+      .field("values", std::vector<double>{1e13, 0.1});
+  EXPECT_EQ(obj.str(),
+            "{\"t\": 0.7071067811865476, \"values\": [10000000000000, 0.1]}");
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,84 @@
+// Token-bucket admission control for the sweep service. Time is injected,
+// so every property here is deterministic: burst up to capacity, continuous
+// refill at the configured rate, and per-client isolation in the keyed
+// limiter.
+#include "ppsim/net/rate_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppsim/util/check.hpp"
+
+namespace ppsim::net {
+namespace {
+
+TEST(TokenBucketTest, BurstUpToCapacityThenDry) {
+  TokenBucket bucket(3.0, 1.0);
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.0));  // burst spent, no time passed
+  EXPECT_DOUBLE_EQ(bucket.available(0.0), 0.0);
+}
+
+TEST(TokenBucketTest, RefillsContinuouslyAtTheConfiguredRate) {
+  TokenBucket bucket(4.0, 2.0);  // 2 tokens/second
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.0));
+  // 0.25s later: half a token — still not enough for a request.
+  EXPECT_FALSE(bucket.try_acquire(0.25));
+  // 0.5s total: exactly one token accrued.
+  EXPECT_TRUE(bucket.try_acquire(0.5));
+  EXPECT_FALSE(bucket.try_acquire(0.5));
+  // Long idle refills to capacity, never beyond.
+  EXPECT_DOUBLE_EQ(bucket.available(1000.0), 4.0);
+}
+
+TEST(TokenBucketTest, NonMonotoneClockReadsAsNoTimePassed) {
+  TokenBucket bucket(1.0, 1.0);
+  EXPECT_TRUE(bucket.try_acquire(10.0));
+  // A clock that runs backwards must not mint tokens.
+  EXPECT_FALSE(bucket.try_acquire(5.0));
+  EXPECT_TRUE(bucket.try_acquire(11.0));
+}
+
+TEST(TokenBucketTest, FirstCallAnchorsTheTimeAxis) {
+  // Buckets start full regardless of the first timestamp's absolute value
+  // (the server feeds steady_clock seconds, whose epoch is arbitrary).
+  TokenBucket bucket(2.0, 1.0);
+  EXPECT_TRUE(bucket.try_acquire(1e9));
+  EXPECT_TRUE(bucket.try_acquire(1e9));
+  EXPECT_FALSE(bucket.try_acquire(1e9));
+  EXPECT_TRUE(bucket.try_acquire(1e9 + 1.0));
+}
+
+TEST(TokenBucketTest, RejectsUnusableParameters) {
+  EXPECT_THROW(TokenBucket(0.5, 1.0), CheckFailure);
+  EXPECT_THROW(TokenBucket(1.0, 0.0), CheckFailure);
+  EXPECT_THROW(TokenBucket(1.0, -2.0), CheckFailure);
+  EXPECT_THROW(ClientRateLimiter(0.0, 1.0), CheckFailure);
+}
+
+TEST(ClientRateLimiterTest, ClientsDrainIndependentBuckets) {
+  ClientRateLimiter limiter(2.0, 1.0);
+  // Client 1 exhausts its burst; client 2's bucket is untouched.
+  EXPECT_TRUE(limiter.try_acquire(1, 0.0));
+  EXPECT_TRUE(limiter.try_acquire(1, 0.0));
+  EXPECT_FALSE(limiter.try_acquire(1, 0.0));
+  EXPECT_TRUE(limiter.try_acquire(2, 0.0));
+  EXPECT_TRUE(limiter.try_acquire(2, 0.0));
+  EXPECT_FALSE(limiter.try_acquire(2, 0.0));
+  // Refill is per client too.
+  EXPECT_TRUE(limiter.try_acquire(1, 1.0));
+  EXPECT_FALSE(limiter.try_acquire(1, 1.0));
+}
+
+TEST(ClientRateLimiterTest, LateJoinersStartWithAFullBurst) {
+  ClientRateLimiter limiter(1.0, 0.001);
+  EXPECT_TRUE(limiter.try_acquire(1, 0.0));
+  EXPECT_FALSE(limiter.try_acquire(1, 5.0));  // 0.005 tokens accrued
+  // A client first seen at t=5 is not charged for history before it joined.
+  EXPECT_TRUE(limiter.try_acquire(2, 5.0));
+}
+
+}  // namespace
+}  // namespace ppsim::net

@@ -1,0 +1,381 @@
+// SweepService + SweepServer: the job-service core and its socket front.
+//
+// The load-bearing invariants pinned here:
+//   * a submit's end-of-job report is byte-identical to what an offline
+//     SweepRunner produces for the ppsim_run-mirrored spec (the service is
+//     a transport, never a second results path);
+//   * re-submitting a spec serves every cell from the cache, re-executes
+//     ZERO trials, and still returns the identical bytes;
+//   * concurrent clients with overlapping specs get consistent answers and
+//     a monotonically growing hit counter;
+//   * admission control answers error lines, it does not queue work.
+#include "ppsim/net/server.hpp"
+#include "ppsim/net/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/engine.hpp"
+#include "ppsim/core/runner.hpp"
+#include "ppsim/core/sweep.hpp"
+#include "ppsim/net/socket.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/json_parse.hpp"
+
+namespace ppsim::net {
+namespace {
+
+constexpr Count kN = 300;
+constexpr std::size_t kK = 2;
+constexpr double kMaxParallel = 100000.0;
+
+JsonValue submit_request(std::uint64_t seed = 7, std::size_t trials = 2) {
+  return JsonValue::parse(
+      R"({"type": "submit", "n": )" + std::to_string(kN) +
+      R"(, "k": )" + std::to_string(kK) + R"(, "trials": )" +
+      std::to_string(trials) + R"(, "seed": )" + std::to_string(seed) +
+      R"(, "threads": 2})");
+}
+
+/// Runs one request through an in-process service, collecting every line.
+std::vector<std::string> run_collect(SweepService& service,
+                                     const JsonValue& request) {
+  std::vector<std::string> lines;
+  service.run_job(request, [&](const std::string& line) {
+    lines.push_back(line);
+    return true;
+  });
+  return lines;
+}
+
+/// The report string carried by the final done line.
+std::string report_of(const std::vector<std::string>& lines) {
+  EXPECT_FALSE(lines.empty());
+  const JsonValue done = JsonValue::parse(lines.back());
+  EXPECT_EQ(done.at("type").as_string(), "done");
+  return done.at("report").as_string();
+}
+
+/// The offline oracle: the spec and trial body ppsim_run builds for
+/// `--protocol usd --engine auto`, reimplemented here independently of the
+/// service's own mirroring code.
+std::string offline_report(std::uint64_t seed, std::size_t trials) {
+  const Count bias = static_cast<Count>(bounds::whp_bias(kN));
+  SweepSpec spec;
+  spec.name = "ppsim_run";
+  SweepCell cell;
+  cell.n = kN;
+  cell.k = kK;
+  cell.bias = static_cast<double>(bias);
+  cell.protocol = "usd";
+  cell.engine = EngineKind::kSequential;
+  spec.cells.push_back(cell);
+  spec.trials = trials;
+  spec.base_seed = seed;
+  spec.threads = 2;
+  spec.kernel = kernels::KernelKind::kScalar;
+  const InitialConfig init = adversarial_configuration(kN, kK, bias);
+  const auto budget =
+      static_cast<Interactions>(kMaxParallel * static_cast<double>(kN));
+  return SweepRunner(spec)
+      .run([&](const SweepTrial& ctx) {
+        UsdEngine engine(init.opinion_counts, ctx.seed);
+        engine.run_until_stable(budget);
+        TrialResult r;
+        r.stabilized = engine.stabilized();
+        r.interactions = engine.interactions();
+        r.parallel_time = engine.time();
+        r.winner = engine.winner();
+        return consensus_metrics(r);
+      })
+      .to_json();
+}
+
+TEST(SweepServiceTest, SubmitStreamsCellsThenDoneMatchingTheOfflineRunner) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const std::vector<std::string> lines =
+      run_collect(service, submit_request());
+  ASSERT_EQ(lines.size(), 2u);  // one cell + done
+  const JsonValue cell = JsonValue::parse(lines[0]);
+  EXPECT_EQ(cell.at("type").as_string(), "cell");
+  EXPECT_EQ(cell.at("cell_index").as_int(), 0);
+  EXPECT_FALSE(cell.at("cached").as_bool());
+  EXPECT_EQ(cell.at("data").at("n").as_int(), kN);
+  EXPECT_EQ(report_of(lines), offline_report(7, 2));
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.jobs_completed, 1u);
+  EXPECT_EQ(c.cells_served, 1u);
+  EXPECT_EQ(c.cells_from_cache, 0u);
+  EXPECT_EQ(c.trials_executed, 2u);
+}
+
+TEST(SweepServiceTest, WarmResubmitServesEveryCellFromCacheByteIdentically) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const std::vector<std::string> cold =
+      run_collect(service, submit_request());
+  const std::uint64_t executed_after_cold =
+      service.counters().trials_executed;
+  const std::vector<std::string> warm =
+      run_collect(service, submit_request());
+  // Zero trials re-executed, every cell cached, identical bytes end to end.
+  EXPECT_EQ(service.counters().trials_executed, executed_after_cold);
+  EXPECT_EQ(report_of(warm), report_of(cold));
+  const JsonValue done = JsonValue::parse(warm.back());
+  EXPECT_EQ(done.at("cached_cells").as_int(), done.at("cells").as_int());
+  EXPECT_EQ(done.at("trials_executed").as_int(), 0);
+  const JsonValue warm_cell = JsonValue::parse(warm[0]);
+  EXPECT_TRUE(warm_cell.at("cached").as_bool());
+  // And the streamed cell bytes are the same as the cold run's.
+  const JsonValue cold_cell = JsonValue::parse(cold[0]);
+  EXPECT_EQ(warm_cell.at("data").members().size(),
+            cold_cell.at("data").members().size());
+  EXPECT_GE(service.cache_stats().hits, 1u);
+  EXPECT_EQ(service.counters().cells_from_cache, 1u);
+}
+
+TEST(SweepServiceTest, GridRequestsStreamEveryCellOnce) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const JsonValue request = JsonValue::parse(
+      R"({"type": "submit", "n": [200, 300], "k": [2, 3], "trials": 1,)"
+      R"( "seed": 3, "threads": 4})");
+  const std::vector<std::string> lines = run_collect(service, request);
+  ASSERT_EQ(lines.size(), 5u);  // 4 cells + done
+  std::set<std::int64_t> indices;
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    const JsonValue cell = JsonValue::parse(lines[i]);
+    indices.insert(cell.at("cell_index").as_int());
+  }
+  EXPECT_EQ(indices, (std::set<std::int64_t>{0, 1, 2, 3}));
+  // n outer, k inner: cell 1 is (n=200, k=3).
+  const JsonValue report = JsonValue::parse(report_of(lines));
+  const JsonValue& cell1 = report.at("cells").items()[1];
+  EXPECT_EQ(cell1.at("n").as_int(), 200);
+  EXPECT_EQ(cell1.at("k").as_int(), 3);
+}
+
+TEST(SweepServiceTest, EngineOverrideMirrorsTheGenericFacade) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const JsonValue request = JsonValue::parse(
+      R"({"type": "submit", "n": 300, "k": 2, "engine": "collapsed",)"
+      R"( "trials": 2, "seed": 5, "threads": 2})");
+  const std::vector<std::string> lines = run_collect(service, request);
+  // Offline oracle: ppsim_run's --engine collapsed path.
+  const Count bias = static_cast<Count>(bounds::whp_bias(kN));
+  SweepSpec spec;
+  spec.name = "ppsim_run";
+  SweepCell cell;
+  cell.n = kN;
+  cell.k = kK;
+  cell.bias = static_cast<double>(bias);
+  cell.protocol = "usd";
+  cell.engine = EngineKind::kCollapsed;
+  spec.cells.push_back(cell);
+  spec.trials = 2;
+  spec.base_seed = 5;
+  spec.threads = 2;
+  spec.kernel = kernels::KernelKind::kScalar;
+  const UndecidedStateDynamics usd(kK);
+  const InitialConfig init = adversarial_configuration(kN, kK, bias);
+  const Configuration initial =
+      UndecidedStateDynamics::initial_configuration(init.opinion_counts);
+  const auto budget =
+      static_cast<Interactions>(kMaxParallel * static_cast<double>(kN));
+  const std::string offline =
+      SweepRunner(spec)
+          .run([&](const SweepTrial& ctx) {
+            const kernels::KernelKind kernel =
+                ctx.cell.kernel.value_or(kernels::KernelKind::kScalar);
+            Engine engine(ctx.cell.engine, usd, initial, ctx.seed,
+                          {.kernel = kernel}, {.kernel = kernel});
+            return consensus_metrics(run_engine_trial(engine, budget));
+          })
+          .to_json();
+  EXPECT_EQ(report_of(lines), offline);
+}
+
+TEST(SweepServiceTest, InvalidRequestsAreRejectedBeforeAnyWork) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const auto reject = [&](const std::string& request) {
+    EXPECT_THROW(
+        service.run_job(JsonValue::parse(request),
+                        [](const std::string&) { return true; }),
+        CheckFailure)
+        << request;
+  };
+  reject(R"({"type": "submit", "protocol": "three-majority"})");
+  reject(R"({"type": "submit", "trials": 0})");
+  reject(R"({"type": "submit", "n": 1})");
+  reject(R"({"type": "submit", "k": 0})");
+  reject(R"({"type": "submit", "n": []})");
+  reject(R"({"type": "submit", "engine": "warp"})");
+  reject(R"({"type": "submit", "max_parallel": 0})");
+  reject(R"({"type": "submit", "bias": 1.5})");  // non-integral bias
+  EXPECT_EQ(service.counters().jobs_completed, 0u);
+  EXPECT_EQ(service.counters().trials_executed, 0u);
+}
+
+TEST(SweepServiceTest, AVanishedClientCancelsItsJob) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const JsonValue request = JsonValue::parse(
+      R"({"type": "submit", "n": [200, 240, 280, 320], "k": 2,)"
+      R"( "trials": 4, "seed": 11, "threads": 2})");
+  std::atomic<int> delivered{0};
+  service.run_job(request, [&](const std::string&) {
+    // First line lands, then the "client" is gone.
+    return ++delivered == 1;
+  });
+  EXPECT_EQ(service.counters().jobs_completed, 0u);
+  EXPECT_EQ(service.counters().jobs_failed, 1u);
+}
+
+// ---------------------------------------------------------------- socket --
+
+std::string socket_path(const std::string& stem) {
+  return testing::TempDir() + "/" + stem + ".sock";
+}
+
+/// Connects with retries (the server thread may still be binding).
+LineChannel connect_with_retry(const std::string& path) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return LineChannel(connect_to(path));
+    } catch (const CheckFailure&) {
+      if (attempt > 200) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+/// Sends one request line and reads until a done/error line (inclusive).
+std::vector<std::string> roundtrip(LineChannel& channel,
+                                   const std::string& request) {
+  EXPECT_TRUE(channel.write_line(request));
+  std::vector<std::string> lines;
+  while (true) {
+    std::optional<std::string> line = channel.read_line();
+    if (!line.has_value()) break;
+    lines.push_back(*line);
+    const JsonValue parsed = JsonValue::parse(*line);
+    const std::string type = parsed.at("type").as_string();
+    if (type == "done" || type == "error" || type == "stats") break;
+  }
+  return lines;
+}
+
+TEST(SweepServerTest, SoakConcurrentClientsWithOverlappingSpecs) {
+  ServerConfig config;
+  config.socket_path = socket_path("ppsim_soak");
+  config.service = {.cache_memory = 64, .cache_dir = ""};
+  config.rate_burst = 100.0;  // admission is not under test here
+  config.rate_per_second = 100.0;
+  SweepServer server(config);
+  std::thread serving([&] { server.run(); });
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 2;
+  const std::uint64_t hits_before = server.service().cache_stats().hits;
+  std::vector<std::string> reports(kClients * kRequestsPerClient);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      LineChannel channel = connect_with_retry(config.socket_path);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        // Every client submits the SAME spec: maximal cache overlap.
+        const std::vector<std::string> lines = roundtrip(
+            channel,
+            R"({"type": "submit", "n": [200, 300], "k": 2, "trials": 2,)"
+            R"( "seed": 9, "threads": 2})");
+        ASSERT_FALSE(lines.empty());
+        const JsonValue done = JsonValue::parse(lines.back());
+        ASSERT_EQ(done.at("type").as_string(), "done");
+        reports[static_cast<std::size_t>(c * kRequestsPerClient + r)] =
+            done.at("report").as_string();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.stop();
+  serving.join();
+
+  // Every answer to the shared spec is the same bytes, no matter which
+  // client asked, when, or whether the cells came from cache.
+  for (const std::string& report : reports) {
+    EXPECT_EQ(report, reports[0]);
+    EXPECT_FALSE(report.empty());
+  }
+  // The overlap was actually served from cache, and the hit counter only
+  // ever grows: 6 submissions x 2 cells, at most 2 computed cold.
+  const auto stats = server.service().cache_stats();
+  EXPECT_GE(stats.hits, hits_before + 10);
+  EXPECT_EQ(server.service().counters().jobs_completed,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+}
+
+TEST(SweepServerTest, RateLimiterAnswersErrorLinesNotQueuedWork) {
+  ServerConfig config;
+  config.socket_path = socket_path("ppsim_rate");
+  config.service = {.cache_memory = 4, .cache_dir = ""};
+  config.rate_burst = 1.0;          // one request of burst...
+  config.rate_per_second = 0.0001;  // ...and essentially no refill
+  SweepServer server(config);
+  std::thread serving([&] { server.run(); });
+  {
+    LineChannel channel = connect_with_retry(config.socket_path);
+    const std::vector<std::string> first =
+        roundtrip(channel, R"({"type": "stats"})");
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(JsonValue::parse(first[0]).at("type").as_string(), "stats");
+    const std::vector<std::string> second =
+        roundtrip(channel, R"({"type": "stats"})");
+    ASSERT_EQ(second.size(), 1u);
+    const JsonValue error = JsonValue::parse(second[0]);
+    EXPECT_EQ(error.at("type").as_string(), "error");
+    EXPECT_EQ(error.at("error").as_string(), "rate limited");
+    // A second connection is a different client: its own full bucket.
+    LineChannel other = connect_with_retry(config.socket_path);
+    const std::vector<std::string> third =
+        roundtrip(other, R"({"type": "stats"})");
+    ASSERT_EQ(third.size(), 1u);
+    EXPECT_EQ(JsonValue::parse(third[0]).at("type").as_string(), "stats");
+  }
+  server.stop();
+  serving.join();
+}
+
+TEST(SweepServerTest, MalformedLinesAnswerErrorsAndKeepTheConnection) {
+  ServerConfig config;
+  config.socket_path = socket_path("ppsim_bad");
+  config.service = {.cache_memory = 4, .cache_dir = ""};
+  SweepServer server(config);
+  std::thread serving([&] { server.run(); });
+  {
+    LineChannel channel = connect_with_retry(config.socket_path);
+    for (const std::string& bad :
+         {std::string("this is not json"), std::string(R"({"no":"type"})"),
+          std::string(R"({"type":"warp"})")}) {
+      const std::vector<std::string> lines = roundtrip(channel, bad);
+      ASSERT_EQ(lines.size(), 1u) << bad;
+      EXPECT_EQ(JsonValue::parse(lines[0]).at("type").as_string(), "error");
+    }
+    // The connection still serves real requests afterwards.
+    const std::vector<std::string> ok =
+        roundtrip(channel, R"({"type": "stats"})");
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(JsonValue::parse(ok[0]).at("type").as_string(), "stats");
+  }
+  server.stop();
+  serving.join();
+}
+
+}  // namespace
+}  // namespace ppsim::net

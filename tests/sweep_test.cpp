@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -403,6 +405,36 @@ TEST(SweepResultTest, JsonCarriesCellAxesAndMetricValues) {
   EXPECT_NE(json.find("stream(cell * trials + trial)"), std::string::npos);
   // Wall clock must stay out of the report (byte-identity across runs).
   EXPECT_EQ(json.find("wall"), std::string::npos);
+}
+
+TEST(SweepRunnerTest, CellCallbackOrderNeverAffectsTheEmittedJson) {
+  // run_job streams cells to on_cell in completion order — a schedule-
+  // dependent order by design. The pin: whatever order the callbacks fire
+  // in, the assembled report is the same bytes, and each streamed cell
+  // carries exactly the data the report ends up holding at its cell_index.
+  const std::string reference =
+      SweepRunner(small_usd_spec(1)).run(usd_trial).to_json();
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    std::mutex mutex;
+    std::vector<std::size_t> order;
+    std::vector<std::vector<SweepMetrics>> streamed(4);
+    SweepJobOptions opts;
+    opts.on_cell = [&](const SweepCellResult& cr) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(cr.cell_index);
+      streamed[cr.cell_index] = cr.trials;
+    };
+    const SweepResult result =
+        SweepRunner(small_usd_spec(threads)).run_job(usd_trial, opts);
+    EXPECT_EQ(result.to_json(), reference) << "threads=" << threads;
+    // Exactly one callback per cell, each carrying the final cell data.
+    std::vector<std::size_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2, 3}));
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(streamed[c], result.cells[c].trials) << "cell " << c;
+    }
+  }
 }
 
 TEST(SweepRunnerTest, LockstepLaunchIsByteIdenticalToPerTrialWithScalar) {
