@@ -1,0 +1,251 @@
+// Theory-gap bench: measured USD stabilization time against all three
+// published curves at once —
+//   * the paper's lower bound   (k/25)·ln(√n/(k ln n))     (Theorem 3.5),
+//   * the Amir et al. upper-bound shape  k·ln n            (arXiv:2302.12508),
+//   * the Clementi et al. two-color bound  Θ(ln n)         (arXiv:1707.05135,
+//     k = 2 only — the regime where plurality degenerates to majority).
+//
+// bench_scaling_lower_bound answers "does the lower bound hold and does the
+// growth match the UB shape?"; this bench quantifies the *gap*: one sweep
+// over k at fixed n, one combined JSON report carrying the fitted constant
+// against every curve plus the full per-trial sweep, so CI can track how
+// much daylight sits between measurement and each bound. The k sweep starts
+// at 2 by default so the Clementi curve has a cell to calibrate against
+// (pass --kmin above 2 and the report marks that fit as not fitted).
+//
+// The scenario layer plugs in here: --adversary STRENGTH runs every trial
+// under the adaptive adversary of core/scenario.hpp, which starves the
+// trailing opinion — the bounds above are proved for the uniform scheduler,
+// and this knob shows how an adaptive scheduler collapses the measured
+// times below them (expect a nonzero exit code at high strength: the LB
+// verdict is a statement about the uniform schedule only). --churn and
+// --regraph are rejected (the gap is only meaningful on a closed, complete
+// population). --record-to DIR archives trial 0 of each cell (adversarial
+// runs included) as cell-named .pptraj files.
+//
+// Flags: --n, --kmin, --kmax, --adversary, plus the shared sweep flags
+//        (--trials/--seed/--threads/--json/--record-to/--checkpoint-every).
+// Exit code 0 iff the lower bound holds on every measured point.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ppsim/analysis/bounds.hpp"
+#include "ppsim/analysis/initial.hpp"
+#include "ppsim/analysis/scaling.hpp"
+#include "ppsim/core/scenario.hpp"
+#include "ppsim/core/sweep.hpp"
+#include "ppsim/io/archive_run.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/cli.hpp"
+#include "ppsim/util/json.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const Count n = cli.get_int("n", 250'000);
+  // Start at k = 2 so the Clementi two-color cell exists; stay well inside
+  // k = o(√n/ln n) at the top (the LB degenerates beyond ~40 for n = 250k).
+  const std::int64_t kmin = cli.get_int("kmin", 2);
+  const std::int64_t kmax = cli.get_int("kmax", 32);
+  const SweepCliOptions opts =
+      read_sweep_flags(cli, 5, 7, "BENCH_bounds_gap.json");
+  cli.validate_no_unknown_flags();
+  PPSIM_CHECK(kmin >= 2 && kmax >= kmin, "need 2 <= kmin <= kmax");
+  opts.scenario.require_only(/*adversary_ok=*/true, /*churn_ok=*/false,
+                             /*regraph_ok=*/false, "bench_bounds_gap");
+  const double strength = opts.scenario.adversary_strength;
+
+  benchutil::banner("bounds_gap",
+                    "measured stabilization vs LB (k/25)ln(sqrt(n)/(k ln n)), "
+                    "UB k ln n (Amir et al.) and two-color ln n (Clementi et al.)");
+  benchutil::param("n", n);
+  benchutil::param("trials per k", static_cast<std::int64_t>(opts.trials));
+  benchutil::param("seed", static_cast<std::int64_t>(opts.seed));
+  benchutil::param("threads", static_cast<std::int64_t>(opts.threads));
+  benchutil::param("adversary strength", strength);
+
+  SweepSpec spec;
+  spec.name = "bounds_gap";
+  opts.configure(spec);
+  std::vector<InitialConfig> inits;
+  for (std::int64_t k = kmin; k <= kmax; k = k < 3 ? k + 1 : (k * 3) / 2) {
+    const auto ku = static_cast<std::size_t>(k);
+    inits.push_back(figure1_configuration(n, ku));
+    SweepCell cell;
+    cell.n = n;
+    cell.k = ku;
+    cell.bias = static_cast<double>(inits.back().bias);
+    cell.engine = EngineKind::kSequential;
+    cell.protocol = "usd-specialized";
+    cell.params = opts.scenario.params();
+    spec.cells.push_back(cell);
+  }
+
+  const Interactions budget = sat_mul(100000, n);
+  if (!opts.record_to.empty()) {
+    std::filesystem::create_directories(opts.record_to);
+  }
+  auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
+    UsdEngine engine(inits[ctx.cell_index].opinion_counts, ctx.seed);
+    // The adversary's stream comes from the trial's private rng AFTER the
+    // engine seed, so strength 0 leaves the draw sequence untouched.
+    AdversarialScheduler adversary(strength, ctx.rng());
+    if (!opts.record_to.empty() && ctx.trial == 0) {
+      // Archive cell trial 0, driving the engine by hand so the adversarial
+      // schedule records exactly like the uniform one.
+      io::ArchiveRunSpec rspec;
+      rspec.engine = EngineKind::kSequential;
+      rspec.protocol_name = strength > 0.0 ? "usd-adversarial" : "usd";
+      rspec.seed = ctx.seed;
+      rspec.k = static_cast<Count>(ctx.cell.k);
+      rspec.max_interactions = budget;
+      rspec.record_stride = std::max<Interactions>(1, static_cast<Interactions>(n) / 10);
+      const std::string path =
+          opts.record_to + "/bounds_gap_k" + std::to_string(ctx.cell.k) + ".pptraj";
+      io::ArchiveRecorder archive(rspec, engine.population(), ctx.cell.k + 1,
+                                  io::usd_archive_channels(ctx.cell.k), path);
+      archive.recorder().sample(engine.snapshot(), 0);
+      while (!engine.stabilized() && engine.interactions() < budget) {
+        adversary.step(engine);
+        archive.recorder().maybe_sample(engine.snapshot(), engine.interactions());
+      }
+      RecordFinish fin;
+      fin.stabilized = engine.stabilized();
+      fin.interactions = engine.interactions();
+      fin.consensus = engine.winner();
+      archive.finalize(engine.snapshot(), fin);
+    } else {
+      adversary.run_until_stable(engine, budget);
+    }
+    TrialResult r;
+    r.stabilized = engine.stabilized();
+    r.interactions = engine.interactions();
+    r.parallel_time = engine.time();
+    r.winner = engine.winner();
+    SweepMetrics m = consensus_metrics(r);
+    m.emplace_back("interventions",
+                   static_cast<double>(adversary.interventions()));
+    return m;
+  };
+
+  const SweepResult result = SweepRunner(spec).run(trial);
+
+  const double ln_n = std::log(static_cast<double>(n));
+  Table table({"k", "mean_parallel_time", "min", "max", "lower_bound",
+               "amir_ub_kln_n", "clementi_ln_n", "measured_over_lb"});
+  std::vector<ScalingPoint> points;
+  std::vector<JsonObject> cell_reports;
+  double two_color_mean = 0.0;
+  bool have_two_color = false;
+  for (const SweepCellResult& cr : result.cells) {
+    const std::size_t k = cr.cell.k;
+    const double lb = bounds::theorem35_parallel_lower_bound(n, k);
+    const double ub = bounds::amir_parallel_upper_bound(n, k);
+    // Stabilized trials only, as in bench_scaling_lower_bound: budget-capped
+    // trials must not smuggle the cap into the fits or the LB verdict.
+    const double mean = cr.mean_where("parallel_time", "stabilized");
+    const bool two_color = k == 2;
+    if (two_color) {
+      two_color_mean = mean;
+      have_two_color = true;
+    }
+    table.row()
+        .cell(static_cast<std::int64_t>(k))
+        .cell(mean, 2)
+        .cell(cr.min_where("parallel_time", "stabilized"), 2)
+        .cell(cr.max_where("parallel_time", "stabilized"), 2)
+        .cell(lb, 3)
+        .cell(ub, 1)
+        .cell(two_color ? bounds::clementi_two_color_parallel_bound(n) : 0.0, 2)
+        .cell(lb > 0 ? mean / lb : 0.0, 2)
+        .done();
+    points.push_back({n, k, mean});
+    JsonObject cj;
+    cj.field("k", static_cast<std::int64_t>(k))
+        .field("mean_parallel_time", mean)
+        .field("lower_bound", lb)
+        .field("amir_upper_bound", ub);
+    if (two_color) {
+      cj.field("clementi_two_color", bounds::clementi_two_color_parallel_bound(n));
+    }
+    cell_reports.push_back(cj);
+  }
+
+  benchutil::tsv_block("bounds_gap", table);
+  table.write_pretty(std::cout);
+
+  const ScalingFit fit = fit_scaling(points);
+  const double clementi_c = have_two_color ? two_color_mean / ln_n : 0.0;
+  std::cout << "\nfit vs LB shape k·ln(sqrt(n)/(k ln n)): c = "
+            << format_double(fit.lower_bound_shape.slope, 3)
+            << " (paper constant 1/25 = 0.04)\n"
+            << "fit vs Amir UB shape k·ln n:            c = "
+            << format_double(fit.upper_bound_shape.slope, 3) << "\n";
+  if (have_two_color) {
+    std::cout << "Clementi two-color calibration (k=2):   c = "
+              << format_double(clementi_c, 3) << " x ln n\n";
+  } else {
+    std::cout << "Clementi two-color calibration skipped (no k=2 cell; "
+                 "run with --kmin 2)\n";
+  }
+  std::cout << "min measured/LB ratio: "
+            << format_double(fit.min_ratio_to_lower_bound, 2)
+            << (fit.min_ratio_to_lower_bound >= 1.0
+                    ? "  -> lower bound HOLDS on every point\n"
+                    : "  -> LOWER BOUND VIOLATED\n");
+
+  std::cout << "sweep wall seconds: " << format_double(result.wall_seconds, 3)
+            << " (threads " << result.threads << ")\n";
+  if (!opts.json.empty()) {
+    JsonObject lb_report;
+    lb_report.field("source", "Theorem 3.5")
+        .field("shape", "(k/25)*ln(sqrt(n)/(k*ln(n)))")
+        .field("paper_constant", 1.0 / 25.0)
+        .field("fitted_constant", fit.lower_bound_shape.slope)
+        .field("r_squared", fit.lower_bound_shape.r_squared)
+        .field("min_measured_over_bound", fit.min_ratio_to_lower_bound)
+        .field("holds", fit.min_ratio_to_lower_bound >= 1.0);
+    JsonObject amir_report;
+    amir_report.field("source", "arXiv:2302.12508")
+        .field("shape", "k*ln(n)")
+        .field("fitted_constant", fit.upper_bound_shape.slope)
+        .field("r_squared", fit.upper_bound_shape.r_squared);
+    JsonObject clementi_report;
+    clementi_report.field("source", "arXiv:1707.05135")
+        .field("shape", "ln(n)")
+        .field("fitted", have_two_color)
+        .field("fitted_constant", clementi_c);
+    JsonObject report;
+    report.field("name", "bounds_gap")
+        .field("n", static_cast<std::int64_t>(n))
+        .field("adversary_strength", strength)
+        .field("lower_bound", lb_report)
+        .field("amir_upper_bound", amir_report)
+        .field("clementi_two_color", clementi_report)
+        .field("cells", cell_reports)
+        .field_json("sweep", result.to_json());
+    report.write_file(opts.json);
+    std::cout << "json report written to " << opts.json << "\n";
+  }
+  return fit.min_ratio_to_lower_bound >= 1.0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

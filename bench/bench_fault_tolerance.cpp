@@ -10,14 +10,22 @@
 // dynamics are self-stabilizing for plurality, only the *identity* of the
 // winner is at risk under heavy corruption. One sweep cell per rate.
 //
+// --engine collapsed routes the same experiment through the counts-space
+// CollapsedSimulator with the CountsFaultInjector (core/faults.hpp): faults
+// are applied per τ-leaping round as an exact Binomial(window, ρ) batch, so
+// the realized corruption rate matches the agent-space injector's
+// (scenario_test pins the parity) while n = 10^9+ sweeps stay tractable.
+//
 // Flags: --n, --k, --trials, --seed, --horizon (parallel time), --threads,
-//        --json.
+//        --engine auto|sequential|collapsed, --json.
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "ppsim/analysis/initial.hpp"
+#include "ppsim/core/collapsed_simulator.hpp"
 #include "ppsim/core/faults.hpp"
 #include "ppsim/core/sweep.hpp"
 #include "ppsim/protocols/usd.hpp"
@@ -32,9 +40,14 @@ int run(int argc, char** argv) {
   const Count n = cli.get_int("n", 50'000);
   const auto k = static_cast<std::size_t>(cli.get_int("k", 8));
   const double horizon = cli.get_double("horizon", 200.0);
+  const std::string engine_flag = cli.get_string("engine", "auto");
   const SweepCliOptions opts =
       read_sweep_flags(cli, 5, 21, "BENCH_fault_tolerance.json");
   cli.validate_no_unknown_flags();
+  opts.scenario.require_only(false, false, false, "bench_fault_tolerance");
+  const benchutil::ResolvedEngine engine =
+      benchutil::resolve_usd_engine(engine_flag, n, {"collapsed"});
+  const bool collapsed = engine.kind == EngineKind::kCollapsed;
 
   benchutil::banner("fault_tolerance",
                     "USD under transient corruption: quality vs rate, and recovery");
@@ -42,6 +55,7 @@ int run(int argc, char** argv) {
   benchutil::param("k", static_cast<std::int64_t>(k));
   benchutil::param("horizon (parallel time)", horizon);
   benchutil::param("trials per rate", static_cast<std::int64_t>(opts.trials));
+  benchutil::param("engine", engine.name);
 
   const InitialConfig init = figure1_configuration(n, k);
   const auto horizon_interactions =
@@ -57,13 +71,52 @@ int run(int argc, char** argv) {
     cell.n = n;
     cell.k = k;
     cell.bias = static_cast<double>(init.bias);
+    cell.engine = engine.kind;
+    cell.protocol = engine.protocol_label;
     cell.name = "rate=" + format_sci(rate, 1);
     cell.params = {{"corruption_rate", rate}};
     spec.cells.push_back(cell);
   }
 
+  const UndecidedStateDynamics usd(k);
+  const Configuration initial =
+      UndecidedStateDynamics::initial_configuration(init.opinion_counts);
+
   auto trial = [&](const SweepTrial& ctx) -> SweepMetrics {
     const double rate = ctx.cell.param("corruption_rate", 0.0);
+    if (collapsed) {
+      // Counts-space path: same experiment, faults batched per τ-round via
+      // the exact binomial — the realized rate matches the agent-space
+      // injector below (scenario_test pins the parity differentially).
+      CollapsedSimulator::Options copts;
+      copts.kernel = ctx.cell.kernel.value_or(opts.kernel);
+      CollapsedSimulator sim(usd, initial, ctx.seed, copts);
+      CountsFaultInjector injector(rate, ctx.rng());
+      injector.run(sim, horizon_interactions);
+      const auto& counts = sim.configuration().counts();
+      Count top_any = 0;
+      for (std::size_t s = 1; s <= k; ++s) top_any = std::max(top_any, counts[s]);
+      const double quality = static_cast<double>(top_any) /
+                             static_cast<double>(sim.configuration().population());
+      bool majority_leads = true;
+      for (std::size_t s = 2; s <= k; ++s) {
+        if (counts[s] > counts[1]) majority_leads = false;
+      }
+      const Interactions before = sim.interactions();
+      const RunOutcome out = sim.run_until_stable(before + sat_mul(100000, n));
+      SweepMetrics m = {
+          {"quality_at_horizon", quality},
+          {"majority_still_top", majority_leads ? 1.0 : 0.0},
+          {"recovered", out.stabilized ? 1.0 : 0.0},
+          {"corruptions", static_cast<double>(injector.corruptions())},
+      };
+      if (out.stabilized) {
+        m.emplace_back("recovery_parallel_time",
+                       static_cast<double>(sim.interactions() - before) /
+                           static_cast<double>(n));
+      }
+      return m;
+    }
     UsdEngine engine(init.opinion_counts, ctx.seed);
     // The injector owns a separate stream (drawn from this trial's private
     // stream) so fault patterns are reproducible independently of the

@@ -318,6 +318,7 @@ int run(int argc, char** argv) {
   const SweepCliOptions opts =
       read_sweep_flags(cli, 1, 42, "BENCH_throughput.json");
   cli.validate_no_unknown_flags();
+  opts.scenario.require_only(false, false, false, "bench_throughput");
 
   if (mixed_grid) {
     return run_mixed_grid(opts, small_n, large_n, small_cells, k, max_parallel,

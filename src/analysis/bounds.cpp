@@ -51,6 +51,11 @@ double amir_parallel_upper_bound(Count n, std::size_t k) {
   return as_d(k) * std::log(as_d(n));
 }
 
+double clementi_two_color_parallel_bound(Count n) {
+  PPSIM_CHECK(n >= 2, "population must have at least two agents");
+  return std::log(as_d(n));
+}
+
 double theorem35_max_bias(Count n, std::size_t k) {
   check_nk(n, k);
   const double nn = as_d(n);

@@ -1,0 +1,248 @@
+#include "ppsim/core/scenario.hpp"
+
+#include <algorithm>
+
+#include "ppsim/util/check.hpp"
+#include "ppsim/util/random_variates.hpp"
+
+namespace ppsim {
+
+std::vector<std::pair<std::string, double>> ScenarioSpec::params() const {
+  std::vector<std::pair<std::string, double>> out;
+  if (adversary_strength > 0.0) {
+    out.emplace_back("adversary_strength", adversary_strength);
+  }
+  if (churn_rate > 0.0) {
+    out.emplace_back("churn_rate", churn_rate);
+    if (!churn_joiners_undecided) out.emplace_back("churn_uniform", 1.0);
+  }
+  if (regraph_every > 0) {
+    out.emplace_back("regraph_every", static_cast<double>(regraph_every));
+  }
+  return out;
+}
+
+void ScenarioSpec::require_only(bool adversary_ok, bool churn_ok,
+                                bool regraph_ok,
+                                const std::string& context) const {
+  PPSIM_CHECK(adversary_ok || adversary_strength == 0.0,
+              "--adversary is not supported by " + context);
+  PPSIM_CHECK(churn_ok || churn_rate == 0.0,
+              "--churn is not supported by " + context);
+  PPSIM_CHECK(regraph_ok || regraph_every == 0,
+              "--regraph is not supported by " + context);
+}
+
+AdversarialScheduler::AdversarialScheduler(double strength, std::uint64_t seed)
+    : strength_(strength), rng_(seed) {
+  PPSIM_CHECK(strength >= 0.0 && strength <= 1.0,
+              "adversary strength must be in [0, 1]");
+}
+
+std::optional<State> AdversarialScheduler::trailing_opinion(
+    const std::vector<Count>& counts) {
+  std::optional<State> best;
+  for (std::size_t s = 1; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    if (!best.has_value() || counts[s] < counts[*best]) {
+      best = static_cast<State>(s);
+    }
+  }
+  return best;
+}
+
+std::optional<State> AdversarialScheduler::leading_opinion(
+    const std::vector<Count>& counts) {
+  std::optional<State> best;
+  for (std::size_t s = 1; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    if (!best.has_value() || counts[s] > counts[*best]) {
+      best = static_cast<State>(s);
+    }
+  }
+  return best;
+}
+
+bool AdversarialScheduler::intervene(UsdEngine& engine) {
+  const auto& counts = engine.counts();
+  const std::optional<State> trailing = trailing_opinion(counts);
+  if (!trailing.has_value()) {
+    // All-⊥: nothing to starve; take a uniform step.
+    engine.step();
+    return false;
+  }
+  if (engine.surviving_opinions() >= 2) {
+    // Partner ∝ counts over the other surviving opinions: the trailer meets
+    // a random *decided* agent, so both collapse to ⊥ and the trailer pays
+    // proportionally more than under the uniform scheduler. This is the
+    // target-selection law scenario_test pins with a chi-square.
+    Count total = 0;
+    for (std::size_t s = 1; s < counts.size(); ++s) {
+      if (static_cast<State>(s) != *trailing) total += counts[s];
+    }
+    auto pick = static_cast<Count>(rng_.bounded(static_cast<std::uint64_t>(total)));
+    State partner = 0;
+    for (std::size_t s = 1; s < counts.size(); ++s) {
+      if (static_cast<State>(s) == *trailing) continue;
+      if (pick < counts[s]) {
+        partner = static_cast<State>(s);
+        break;
+      }
+      pick -= counts[s];
+    }
+    engine.force_interaction(*trailing, partner);
+    ++interventions_;
+    return true;
+  }
+  if (engine.undecided() > 0) {
+    // One opinion left: starving is over, so the strongest schedule left to
+    // the adversary is deterministic recruitment (it cannot prevent the
+    // inevitable winner, only reshape the approach).
+    engine.force_interaction(*trailing, 0);
+    ++interventions_;
+    return true;
+  }
+  engine.step();  // consensus already reached; keep the clock semantics
+  return false;
+}
+
+bool AdversarialScheduler::step(UsdEngine& engine) {
+  // strength 0 short-circuits before any RNG draw: the adversary's stream is
+  // untouched and the run is byte-identical to the uniform scheduler's.
+  if (strength_ > 0.0 && rng_.bernoulli(strength_)) {
+    return intervene(engine);
+  }
+  engine.step();
+  return false;
+}
+
+void AdversarialScheduler::run(UsdEngine& engine, Interactions interactions) {
+  PPSIM_CHECK(interactions >= 0, "interaction budget must be non-negative");
+  for (Interactions i = 0; i < interactions; ++i) step(engine);
+}
+
+bool AdversarialScheduler::run_until_stable(UsdEngine& engine,
+                                            Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  while (engine.interactions() < max_interactions && !engine.stabilized()) {
+    step(engine);
+  }
+  return engine.stabilized();
+}
+
+ChurnModel::ChurnModel(double join_rate, double leave_rate, JoinPolicy policy,
+                       std::uint64_t seed)
+    : join_rate_(join_rate), leave_rate_(leave_rate), policy_(policy), rng_(seed) {
+  PPSIM_CHECK(join_rate >= 0.0 && join_rate <= 1.0, "join rate must be in [0, 1]");
+  PPSIM_CHECK(leave_rate >= 0.0 && leave_rate <= 1.0,
+              "leave rate must be in [0, 1]");
+}
+
+State ChurnModel::join_state(std::size_t num_states) {
+  if (policy_ == JoinPolicy::kUndecided) return 0;
+  return static_cast<State>(rng_.bounded(num_states - 1) + 1);
+}
+
+State ChurnModel::victim_state(const std::vector<Count>& counts,
+                               Count victim_index) {
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (victim_index < counts[s]) return static_cast<State>(s);
+    victim_index -= counts[s];
+  }
+  return static_cast<State>(counts.size() - 1);  // unreachable for valid input
+}
+
+void ChurnModel::step(UsdEngine& engine) {
+  // Rate-0 sides make zero draws — churn 0 is byte-identical to no churn.
+  if (join_rate_ > 0.0 && rng_.bernoulli(join_rate_)) {
+    engine.add_agent(join_state(engine.num_opinions() + 1));
+    ++joins_;
+  }
+  if (leave_rate_ > 0.0 && rng_.bernoulli(leave_rate_)) {
+    if (engine.population() > 2) {
+      const auto n = static_cast<std::uint64_t>(engine.population());
+      engine.remove_agent(
+          victim_state(engine.counts(), static_cast<Count>(rng_.bounded(n))));
+      ++leaves_;
+    }
+    // else: the departure is suppressed (engine floor of 2) and deliberately
+    // NOT recorded — the ledger counts performed operations only.
+  }
+}
+
+void ChurnModel::run(UsdEngine& engine, Interactions interactions) {
+  PPSIM_CHECK(interactions >= 0, "interaction budget must be non-negative");
+  for (Interactions i = 0; i < interactions; ++i) {
+    engine.step();
+    step(engine);
+  }
+}
+
+void ChurnModel::apply_window(CollapsedSimulator& sim, Interactions window) {
+  PPSIM_CHECK(window >= 0, "churn window must be non-negative");
+  if (window == 0) return;
+  const std::size_t num_states = sim.configuration().num_states();
+  if (join_rate_ > 0.0) {
+    const auto joining = binomial(rng_, window, join_rate_);
+    if (policy_ == JoinPolicy::kUndecided) {
+      // All joiners land in ⊥ — one bulk add, no per-agent draws, so huge
+      // stable-leap windows stay O(1).
+      sim.add_agents(0, static_cast<Count>(joining));
+      joins_ += static_cast<Count>(joining);
+    } else {
+      for (std::int64_t j = 0; j < joining; ++j) {
+        sim.add_agents(join_state(num_states), 1);
+        ++joins_;
+      }
+    }
+  }
+  if (leave_rate_ > 0.0) {
+    const auto leaving = binomial(rng_, window, leave_rate_);
+    for (std::int64_t l = 0; l < leaving; ++l) {
+      if (sim.configuration().population() <= 2) break;  // engine floor
+      const auto n =
+          static_cast<std::uint64_t>(sim.configuration().population());
+      sim.remove_agents(victim_state(sim.configuration().counts(),
+                                     static_cast<Count>(rng_.bounded(n))),
+                        1);
+      ++leaves_;
+    }
+  }
+}
+
+void ChurnModel::run(CollapsedSimulator& sim, Interactions interactions) {
+  PPSIM_CHECK(interactions >= 0, "interaction budget must be non-negative");
+  Interactions done = 0;
+  while (done < interactions) {
+    const Interactions w = sim.step_round(interactions - done);
+    done += w;
+    apply_window(sim, w);
+  }
+}
+
+DynamicGraph::DynamicGraph(Generator generator, Interactions resample_every,
+                           std::uint64_t seed)
+    : generator_(std::move(generator)),
+      resample_every_(resample_every),
+      rng_(seed),
+      graph_(generator_(rng_)) {
+  PPSIM_CHECK(resample_every_ > 0, "resample interval must be positive");
+}
+
+bool DynamicGraph::run_until_stable(GraphSimulator& sim,
+                                    Interactions max_interactions) {
+  PPSIM_CHECK(max_interactions >= 0, "interaction budget must be non-negative");
+  while (sim.interactions() < max_interactions) {
+    // Run to the next resample boundary (or the budget, whichever is first).
+    const Interactions boundary =
+        (sim.interactions() / resample_every_ + 1) * resample_every_;
+    if (sim.run_until_stable(std::min(boundary, max_interactions))) return true;
+    if (sim.interactions() >= max_interactions) break;
+    graph_ = generator_(rng_);
+    ++resamples_;
+    sim.rebind_graph(graph_);
+  }
+  return sim.is_stable();
+}
+
+}  // namespace ppsim

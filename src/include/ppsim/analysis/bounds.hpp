@@ -31,6 +31,12 @@ double theorem35_interaction_lower_bound(Count n, std::size_t k);
 /// factors are not specified by the theorem; benches fit them).
 double amir_parallel_upper_bound(Count n, std::size_t k);
 
+/// Clementi et al. (arXiv:1707.05135) two-color USD tight analysis: Θ(ln n)
+/// parallel time for k = 2 (constant factors unspecified; benches fit them
+/// from the measured k = 2 cell). Valid for k = 2 only — the k dependence
+/// is what separates it from the Amir et al. curve in bench_bounds_gap.
+double clementi_two_color_parallel_bound(Count n);
+
 /// Maximum initial pairwise difference Theorem 3.5 tolerates:
 ///   (√n/(k ln n))^{1/4} · √(n ln n).
 double theorem35_max_bias(Count n, std::size_t k);

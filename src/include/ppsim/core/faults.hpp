@@ -29,6 +29,7 @@
 
 #include <cstdint>
 
+#include "ppsim/core/collapsed_simulator.hpp"
 #include "ppsim/core/types.hpp"
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/rng.hpp"
@@ -52,6 +53,38 @@ class UsdFaultInjector {
   /// injection interleaved (the engine's stabilized() state is ignored —
   /// faults can always re-activate the dynamics).
   void run(UsdEngine& engine, Interactions interactions);
+
+ private:
+  double rate_;
+  Xoshiro256pp rng_;
+  Interactions corruptions_ = 0;
+};
+
+/// Counts-space sibling of UsdFaultInjector for EngineKind::kCollapsed:
+/// the same per-interaction corruption law (Bernoulli(rate) per interaction;
+/// victim uniform over agents; target uniform over the other S − 1 states),
+/// applied in windows so the collapsed engine's τ-leaping rounds stay
+/// batched. apply_window draws the number of corruptions in a `window` of
+/// interactions from the exact Binomial(window, rate) and places each one
+/// individually — so the realised corruption rate matches the agent-space
+/// injector's (faults/scenario tests pin the parity).
+class CountsFaultInjector {
+ public:
+  /// `rate` = expected corruptions per interaction, in [0, 1].
+  CountsFaultInjector(double rate, std::uint64_t seed);
+
+  double rate() const noexcept { return rate_; }
+  Interactions corruptions() const noexcept { return corruptions_; }
+
+  /// Injects Binomial(window, rate) corruptions into the simulator's counts
+  /// (call once per completed round of `window` interactions). Returns the
+  /// number injected.
+  Interactions apply_window(CollapsedSimulator& sim, Interactions window);
+
+  /// Runs the simulator for exactly `interactions` interactions, alternating
+  /// engine rounds with corruption windows of the realised round length
+  /// (stability is ignored — faults can re-activate the dynamics).
+  void run(CollapsedSimulator& sim, Interactions interactions);
 
  private:
   double rate_;

@@ -1,0 +1,194 @@
+// Adversarial scenarios: the schedules the paper's lower bound reasons about
+// but an oblivious simulator never produces.
+//
+// Everything this library measured before this layer ran under the uniform
+// scheduler on a fixed population and a static topology. The paper's Theorem
+// 3.5, however, is proved against a *adaptive* adversary — one that watches
+// the configuration and steers interactions against the trailing opinion —
+// and real deployments add churn (agents joining/leaving mid-run) and
+// time-varying connectivity on top. This module packages those three regimes
+// behind small, independently testable drivers:
+//
+//   * AdversarialScheduler — wraps a UsdEngine. Each interaction is, with
+//     probability `strength`, replaced by an adversarially chosen pair:
+//     the trailing surviving opinion is forced to clash with a partner drawn
+//     proportionally to the counts of the *other* surviving opinions (both
+//     agents drop to ⊥, starving the trailer — the shape of the paper's
+//     lower-bound adversary). With the remaining 1 − strength probability
+//     the engine takes its own uniform step. strength = 0 makes ZERO
+//     adversary RNG draws and delegates every step to the engine, so it is
+//     byte-identical to the uniform scheduler (scenario_test pins this).
+//
+//   * ChurnModel — open populations. Per interaction (sequential) or per
+//     τ-leaping round (collapsed, via exact binomial windowing), agents join
+//     at `join_rate` — entering ⊥ or a uniformly random opinion — and a
+//     uniformly random agent leaves at `leave_rate`. The model keeps a
+//     join/leave ledger that the population size must track exactly; leaves
+//     that would shrink the population below the engine minimum of 2 are
+//     skipped and never enter the ledger.
+//
+//   * DynamicGraph — time-varying topologies for GraphSimulator: the edge
+//     set is resampled from a generator every `resample_every` interactions
+//     and rebound into the running simulator, states untouched.
+//
+// ScenarioSpec is the CLI-facing bundle (--adversary / --churn / --regraph)
+// threaded through SweepCliOptions; its params() stamps only NON-DEFAULT
+// knobs into SweepCell::params, so a zero-knob spec serializes byte-identical
+// to a pre-scenario one (and distinct knobs hash to distinct cache keys).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ppsim/core/collapsed_simulator.hpp"
+#include "ppsim/core/graph.hpp"
+#include "ppsim/core/graph_simulator.hpp"
+#include "ppsim/core/types.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/rng.hpp"
+
+namespace ppsim {
+
+/// CLI-facing scenario knobs, all defaulting to "off".
+struct ScenarioSpec {
+  /// Probability an interaction is adversarially scheduled, in [0, 1].
+  double adversary_strength = 0.0;
+  /// Per-interaction join AND leave rate (the CLI's --churn drives both, so
+  /// the population stays constant in expectation), in [0, 1].
+  double churn_rate = 0.0;
+  /// Joiners enter ⊥ (true) or a uniformly random opinion (false).
+  bool churn_joiners_undecided = true;
+  /// Resample the interaction graph every this many *rounds* (n
+  /// interactions); 0 = static graph.
+  Interactions regraph_every = 0;
+
+  bool any() const noexcept {
+    return adversary_strength > 0.0 || churn_rate > 0.0 || regraph_every > 0;
+  }
+
+  /// Non-default knobs as SweepCell::params entries. Empty at defaults —
+  /// load-bearing for the strength-0/churn-0 byte-identity guarantees.
+  std::vector<std::pair<std::string, double>> params() const;
+
+  /// Throws CheckFailure when a knob is set that `context` cannot honour.
+  void require_only(bool adversary_ok, bool churn_ok, bool regraph_ok,
+                    const std::string& context) const;
+};
+
+/// Adaptive adversary over a UsdEngine (see file comment for the law).
+class AdversarialScheduler {
+ public:
+  /// `strength` = probability of an adversarial intervention per
+  /// interaction, in [0, 1]. strength 0 never touches `seed`'s stream.
+  AdversarialScheduler(double strength, std::uint64_t seed);
+
+  double strength() const noexcept { return strength_; }
+  /// Number of interactions the adversary scheduled (≤ engine interactions).
+  Interactions interventions() const noexcept { return interventions_; }
+
+  /// Trailing / leading *surviving* opinion state (1-based USD layout), or
+  /// nullopt when no opinion survives. Ties break to the lowest state index.
+  static std::optional<State> trailing_opinion(const std::vector<Count>& counts);
+  static std::optional<State> leading_opinion(const std::vector<Count>& counts);
+
+  /// One interaction under this scheduler. Returns true iff the adversary
+  /// intervened (the engine's interaction clock advances either way).
+  bool step(UsdEngine& engine);
+
+  /// Runs for exactly `interactions` further interactions.
+  void run(UsdEngine& engine, Interactions interactions);
+
+  /// Runs until the engine stabilizes or its total interaction count
+  /// reaches `max_interactions`. Returns true iff stabilized.
+  bool run_until_stable(UsdEngine& engine, Interactions max_interactions);
+
+ private:
+  /// Forces the adversarial pair; falls back to a uniform engine step when
+  /// the configuration offers nothing to target. Returns true iff forced.
+  bool intervene(UsdEngine& engine);
+
+  double strength_;
+  Xoshiro256pp rng_;
+  Interactions interventions_ = 0;
+};
+
+/// Open-population churn for both USD engines (see file comment).
+class ChurnModel {
+ public:
+  enum class JoinPolicy {
+    kUndecided,       ///< joiners enter ⊥
+    kUniformOpinion,  ///< joiners pick one of the k opinions uniformly
+  };
+
+  ChurnModel(double join_rate, double leave_rate, JoinPolicy policy,
+             std::uint64_t seed);
+
+  double join_rate() const noexcept { return join_rate_; }
+  double leave_rate() const noexcept { return leave_rate_; }
+  /// Performed joins/leaves: the population must equal
+  /// initial + joins() − leaves() at every quiescent point.
+  Count joins() const noexcept { return joins_; }
+  Count leaves() const noexcept { return leaves_; }
+
+  /// One interaction's worth of churn (call after each engine step).
+  void step(UsdEngine& engine);
+
+  /// Runs the engine for exactly `interactions` interactions with churn
+  /// interleaved (stabilization is ignored — a join can always unstabilize).
+  void run(UsdEngine& engine, Interactions interactions);
+
+  /// Applies a whole window's churn to the collapsed engine: join and leave
+  /// totals are drawn from the exact Binomial(window, rate) laws, then
+  /// placed one agent at a time. Rate-0 sides make zero draws.
+  void apply_window(CollapsedSimulator& sim, Interactions window);
+
+  /// Runs the collapsed engine for exactly `interactions` interactions,
+  /// alternating τ-leaping rounds with churn windows of the realised length.
+  void run(CollapsedSimulator& sim, Interactions interactions);
+
+ private:
+  State join_state(std::size_t num_states);
+  /// Uniformly random occupied state (counts-weighted scan).
+  static State victim_state(const std::vector<Count>& counts, Count victim_index);
+
+  double join_rate_;
+  double leave_rate_;
+  JoinPolicy policy_;
+  Xoshiro256pp rng_;
+  Count joins_ = 0;
+  Count leaves_ = 0;
+};
+
+/// Time-varying interaction graph driver for GraphSimulator.
+class DynamicGraph {
+ public:
+  using Generator = std::function<InteractionGraph(Xoshiro256pp&)>;
+
+  /// Generates the initial topology immediately (so `graph()` can seed a
+  /// GraphSimulator), then resamples every `resample_every` interactions.
+  DynamicGraph(Generator generator, Interactions resample_every,
+               std::uint64_t seed);
+
+  /// Current topology. Re-read after run_until_stable — resampling replaces
+  /// the referenced object.
+  const InteractionGraph& graph() const noexcept { return graph_; }
+  std::size_t resamples() const noexcept { return resamples_; }
+
+  /// Drives `sim` (which must have been constructed on this object's
+  /// graph()) until stable or `max_interactions` total, resampling and
+  /// rebinding the topology at every boundary. Returns true iff stable.
+  bool run_until_stable(GraphSimulator& sim, Interactions max_interactions);
+
+ private:
+  Generator generator_;
+  Interactions resample_every_;
+  Xoshiro256pp rng_;
+  InteractionGraph graph_;
+  std::size_t resamples_ = 0;
+};
+
+}  // namespace ppsim

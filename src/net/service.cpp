@@ -37,6 +37,7 @@ struct ParsedSubmit {
   SweepSpec spec;
   double max_parallel = 100000.0;
   bool engine_override = false;
+  ScenarioSpec scenario;  ///< adversary/churn knobs (sequential engine only)
   std::string fn_id;  ///< trial function identity for the cache key
 };
 
@@ -91,6 +92,22 @@ ParsedSubmit parse_submit(const JsonValue& request,
   PPSIM_CHECK(p.max_parallel > 0.0,
               "request field 'max_parallel' must be > 0");
 
+  // Scenario knobs (core/scenario.hpp), mirroring ppsim_run's --adversary /
+  // --churn. They land in every cell's params, so the canonical cell key —
+  // and therefore the cache identity — distinguishes scenario sweeps from
+  // plain ones without any fn_id change; a zero-knob request stamps nothing
+  // and keys identically to a pre-scenario submit.
+  p.scenario.adversary_strength = request.get_number("adversary", 0.0);
+  p.scenario.churn_rate = request.get_number("churn", 0.0);
+  PPSIM_CHECK(p.scenario.adversary_strength >= 0.0 &&
+                  p.scenario.adversary_strength <= 1.0,
+              "request field 'adversary' must be in [0, 1]");
+  PPSIM_CHECK(p.scenario.churn_rate >= 0.0 && p.scenario.churn_rate <= 1.0,
+              "request field 'churn' must be in [0, 1]");
+  PPSIM_CHECK(!p.scenario.any() || !p.engine_override,
+              "scenario fields (adversary/churn) require engine auto "
+              "(the specialized sequential USD engine)");
+
   const std::vector<std::int64_t> ns = int_axis(request, "n", 100000);
   const std::vector<std::int64_t> ks = int_axis(request, "k", 2);
   PPSIM_CHECK(ns.size() * ks.size() <= config.max_cells,
@@ -117,6 +134,7 @@ ParsedSubmit parse_submit(const JsonValue& request,
       cell.bias = static_cast<double>(bias);
       cell.protocol = "usd";
       cell.engine = engine.value_or(EngineKind::kSequential);
+      cell.params = p.scenario.params();
       p.spec.cells.push_back(std::move(cell));
     }
   }
@@ -148,6 +166,39 @@ SweepTrialFn make_trial_fn(const ParsedSubmit& p) {
       Engine engine(ctx.cell.engine, usd, initial, ctx.seed,
                     {.kernel = kernel}, {.kernel = kernel});
       return consensus_metrics(run_engine_trial(engine, budget));
+    };
+  }
+  if (p.scenario.any()) {
+    // Scenario body, verbatim from ppsim_run: engine seeded from ctx.seed
+    // first, then the adversary's and churn's streams drawn from the trial
+    // rng — so the server reproduces the offline tool's bytes exactly.
+    const ScenarioSpec sc = p.scenario;
+    return [max_parallel, sc](const SweepTrial& ctx) {
+      const InitialConfig init = adversarial_configuration(
+          ctx.cell.n, ctx.cell.k, static_cast<Count>(ctx.cell.bias));
+      const auto budget = static_cast<Interactions>(
+          max_parallel * static_cast<double>(ctx.cell.n));
+      UsdEngine engine(init.opinion_counts, ctx.seed);
+      AdversarialScheduler adversary(sc.adversary_strength, ctx.rng());
+      ChurnModel churn(sc.churn_rate, sc.churn_rate,
+                       ChurnModel::JoinPolicy::kUndecided, ctx.rng());
+      while (!engine.stabilized() && engine.interactions() < budget) {
+        adversary.step(engine);
+        churn.step(engine);
+      }
+      TrialResult r;
+      r.stabilized = engine.stabilized();
+      r.interactions = engine.interactions();
+      r.parallel_time = engine.time();
+      r.winner = engine.winner();
+      SweepMetrics m = consensus_metrics(r);
+      m.emplace_back("interventions",
+                     static_cast<double>(adversary.interventions()));
+      m.emplace_back("joins", static_cast<double>(churn.joins()));
+      m.emplace_back("leaves", static_cast<double>(churn.leaves()));
+      m.emplace_back("final_population",
+                     static_cast<double>(engine.population()));
+      return m;
     };
   }
   return [max_parallel](const SweepTrial& ctx) {

@@ -25,6 +25,7 @@
 #include "ppsim/protocols/usd.hpp"
 #include "ppsim/util/rng.hpp"
 #include "ppsim/util/stats.hpp"
+#include "scenario_stat_util.hpp"
 
 namespace ppsim::kernels {
 namespace {
@@ -200,27 +201,6 @@ TEST_F(Avx2DistributionTest, LockstepGroupIsDeterministic) {
   EXPECT_EQ(run_once(), run_once());
 }
 
-/// Two-sample Kolmogorov–Smirnov distance sup_x |F_a(x) − F_b(x)|.
-double ks_distance(std::vector<double> a, std::vector<double> b) {
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
-  const double na = static_cast<double>(a.size());
-  const double nb = static_cast<double>(b.size());
-  double d = 0.0;
-  std::size_t ia = 0;
-  std::size_t ib = 0;
-  while (ia < a.size() && ib < b.size()) {
-    if (a[ia] <= b[ib]) {
-      ++ia;
-    } else {
-      ++ib;
-    }
-    d = std::max(d, std::abs(static_cast<double>(ia) / na -
-                             static_cast<double>(ib) / nb));
-  }
-  return d;
-}
-
 TEST_F(Avx2DistributionTest, StabilizationTimesMatchScalarByKS) {
   const UndecidedStateDynamics usd(3);
   constexpr int kTrials = 100;
@@ -237,11 +217,11 @@ TEST_F(Avx2DistributionTest, StabilizationTimesMatchScalarByKS) {
     }
     return times;
   };
-  const double d =
-      ks_distance(sample(KernelKind::kAvx2), sample(KernelKind::kScalar));
+  const double d = testutil::ks_distance(sample(KernelKind::kAvx2),
+                                         sample(KernelKind::kScalar));
   // Two-sample KS critical value at α = 0.001 for 100 vs 100 samples:
   // 1.949·sqrt(2/100) ≈ 0.276.
-  EXPECT_LT(d, 0.28);
+  EXPECT_LT(d, testutil::ks_two_sample_critical(kTrials, kTrials));
 }
 
 }  // namespace

@@ -1,0 +1,430 @@
+// Scenario layer pins: the adversary's target-selection law (chi-square),
+// the degenerate-parameter equivalences (strength 0 ≡ uniform scheduler,
+// churn 0 ≡ fixed population, byte-identical sweep JSON), churn's population
+// accounting against its join/leave ledger, adversarial-sweep determinism
+// across thread counts, dynamic-graph resampling, and the agent-space vs
+// counts-space fault-rate parity that makes faulted sweeps meaningful under
+// EngineKind::kCollapsed.
+#include "ppsim/core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "ppsim/core/collapsed_simulator.hpp"
+#include "ppsim/core/faults.hpp"
+#include "ppsim/core/graph_simulator.hpp"
+#include "ppsim/core/sweep.hpp"
+#include "ppsim/protocols/usd.hpp"
+#include "ppsim/util/check.hpp"
+#include "scenario_stat_util.hpp"
+
+namespace ppsim {
+namespace {
+
+Count total_count(const std::vector<Count>& counts) {
+  return std::accumulate(counts.begin(), counts.end(), Count{0});
+}
+
+TEST(ScenarioSpecTest, DefaultsAreOffAndEmitNoParams) {
+  const ScenarioSpec spec;
+  EXPECT_FALSE(spec.any());
+  EXPECT_TRUE(spec.params().empty());  // zero-knob specs serialize unchanged
+  spec.require_only(false, false, false, "anything");  // no knobs, no throw
+}
+
+TEST(ScenarioSpecTest, KnobsStampNamedParamsAndGateUnsupportedContexts) {
+  ScenarioSpec spec;
+  spec.adversary_strength = 0.25;
+  spec.churn_rate = 0.01;
+  spec.churn_joiners_undecided = false;
+  spec.regraph_every = 8;
+  EXPECT_TRUE(spec.any());
+  const auto params = spec.params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].first, "adversary_strength");
+  EXPECT_DOUBLE_EQ(params[0].second, 0.25);
+  EXPECT_EQ(params[1].first, "churn_rate");
+  EXPECT_EQ(params[2].first, "churn_uniform");
+  EXPECT_EQ(params[3].first, "regraph_every");
+  EXPECT_THROW(spec.require_only(false, true, true, "x"), CheckFailure);
+  EXPECT_THROW(spec.require_only(true, false, true, "x"), CheckFailure);
+  EXPECT_THROW(spec.require_only(true, true, false, "x"), CheckFailure);
+  spec.require_only(true, true, true, "x");
+}
+
+TEST(AdversarialSchedulerTest, TrailingAndLeadingHelpers) {
+  EXPECT_EQ(AdversarialScheduler::trailing_opinion({5, 0, 3, 0, 7}), 2);
+  EXPECT_EQ(AdversarialScheduler::leading_opinion({5, 0, 3, 0, 7}), 4);
+  // Ties break to the lowest state index; extinct opinions never qualify.
+  EXPECT_EQ(AdversarialScheduler::trailing_opinion({0, 4, 4}), 1);
+  EXPECT_EQ(AdversarialScheduler::leading_opinion({0, 4, 4}), 1);
+  EXPECT_FALSE(AdversarialScheduler::trailing_opinion({9, 0, 0}).has_value());
+}
+
+TEST(AdversarialSchedulerTest, TargetSelectionLawChiSquare) {
+  // Strength 1: every step is an intervention. The trailing opinion starts
+  // smallest and only shrinks under interventions, so it stays the trailer
+  // for the whole run; the partner must be drawn ∝ counts over the OTHER
+  // surviving opinions. Expected bucket masses accumulate the per-event
+  // probabilities (the counts move, so the law is not i.i.d.).
+  UsdEngine engine({200000, 300000, 400000, 500000}, 0, 21);
+  AdversarialScheduler adv(1.0, 33);
+  constexpr int kEvents = 20000;
+  const State trailing = *AdversarialScheduler::trailing_opinion(engine.counts());
+  ASSERT_EQ(trailing, 1);
+  std::vector<std::int64_t> observed(3, 0);  // partners: states 2, 3, 4
+  std::vector<double> expected(3, 0.0);
+  for (int i = 0; i < kEvents; ++i) {
+    const std::vector<Count> before = engine.counts();
+    Count others = 0;
+    for (State s = 2; s <= 4; ++s) others += before[s];
+    for (State s = 2; s <= 4; ++s) {
+      expected[s - 2] +=
+          static_cast<double>(before[s]) / static_cast<double>(others);
+    }
+    ASSERT_TRUE(adv.step(engine));
+    // The intervention clashes trailing with exactly one partner: both lose
+    // one agent, ⊥ gains two.
+    ASSERT_EQ(engine.counts()[trailing], before[trailing] - 1);
+    int partner = -1;
+    for (State s = 2; s <= 4; ++s) {
+      if (engine.counts()[s] == before[s] - 1) partner = static_cast<int>(s);
+    }
+    ASSERT_GE(partner, 2);
+    ++observed[static_cast<std::size_t>(partner) - 2];
+  }
+  EXPECT_EQ(adv.interventions(), kEvents);
+  EXPECT_GT(testutil::chi_square_pvalue(observed, expected), 1e-6);
+}
+
+TEST(AdversarialSchedulerTest, InterventionRateMatchesStrength) {
+  // strength 0.3 over 20000 steps: interventions ~ Binomial(20000, 0.3),
+  // σ ≈ 65; 4σ window.
+  UsdEngine engine({400000, 400000, 400000}, 0, 5);
+  AdversarialScheduler adv(0.3, 11);
+  constexpr Interactions kSteps = 20000;
+  adv.run(engine, kSteps);
+  EXPECT_EQ(engine.interactions(), kSteps);
+  const double mean = 0.3 * static_cast<double>(kSteps);
+  const double sigma = std::sqrt(static_cast<double>(kSteps) * 0.3 * 0.7);
+  EXPECT_GT(static_cast<double>(adv.interventions()), mean - 4.0 * sigma);
+  EXPECT_LT(static_cast<double>(adv.interventions()), mean + 4.0 * sigma);
+}
+
+TEST(AdversarialSchedulerTest, StrengthZeroIsTheUniformScheduler) {
+  // strength 0 must consume ZERO adversary randomness and delegate every
+  // step to the engine — the runs are identical interaction for interaction.
+  UsdEngine plain({700, 300}, 50, 99);
+  UsdEngine driven({700, 300}, 50, 99);
+  AdversarialScheduler adv(0.0, 1234);  // seed irrelevant: never drawn from
+  for (int i = 0; i < 5000; ++i) {
+    plain.step();
+    EXPECT_FALSE(adv.step(driven));
+    ASSERT_EQ(plain.counts(), driven.counts());
+  }
+  EXPECT_EQ(adv.interventions(), 0);
+  // ... and to stabilization.
+  const bool a = plain.run_until_stable(10'000'000);
+  const bool b = adv.run_until_stable(driven, 10'000'000);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(plain.counts(), driven.counts());
+  EXPECT_EQ(plain.interactions(), driven.interactions());
+}
+
+TEST(AdversarialSchedulerTest, PositiveStrengthStarvesTheTrailingOpinion) {
+  // The adversary's forced clash removes one agent from the trailer AND one
+  // from a stronger opinion: the absolute bias is preserved while both
+  // counts shrink, so the relative bias grows and the minority is starved
+  // into extinction. Behavioral pin over paired seeds: the majority wins
+  // every adversarial run (the uniform scheduler occasionally lets the
+  // minority win at this bias), interventions actually fire, and total
+  // stabilization time is *shorter* than uniform — the measurable signature
+  // distinguishing this law from a no-op or a symmetric perturbation.
+  double uniform_total = 0.0;
+  double adversarial_total = 0.0;
+  for (std::uint64_t t = 0; t < 12; ++t) {
+    UsdEngine plain({3000, 2000}, 700 + t);
+    ASSERT_TRUE(plain.run_until_stable(100'000'000));
+    uniform_total += plain.time();
+    UsdEngine hard({3000, 2000}, 700 + t);
+    AdversarialScheduler adv(0.5, 900 + t);
+    ASSERT_TRUE(adv.run_until_stable(hard, 100'000'000));
+    ASSERT_GT(adv.interventions(), 0);
+    ASSERT_EQ(hard.winner(), std::optional<Opinion>(0));
+    adversarial_total += hard.time();
+  }
+  EXPECT_LT(adversarial_total, uniform_total);
+}
+
+TEST(ChurnModelTest, PopulationTracksLedgerExactly) {
+  UsdEngine engine({600, 400}, 13);
+  ChurnModel churn(0.05, 0.03, ChurnModel::JoinPolicy::kUndecided, 77);
+  const Count initial = engine.population();
+  for (int chunk = 0; chunk < 20; ++chunk) {
+    churn.run(engine, 1000);
+    ASSERT_EQ(engine.population(),
+              initial + churn.joins() - churn.leaves());
+    ASSERT_EQ(total_count(engine.counts()), engine.population());
+  }
+  EXPECT_GT(churn.joins(), 0);
+  EXPECT_GT(churn.leaves(), 0);
+}
+
+TEST(ChurnModelTest, UniformOpinionJoinersAreUniformOverOpinionsChiSquare) {
+  // Join-only churn at rate 1, with the engine held still (churn.step does
+  // not advance the dynamics): every call joins exactly one agent, and the
+  // diff identifies its entry state. Under the uniform policy joiners must
+  // be uniform over the k opinions and never enter ⊥.
+  const std::size_t k = 3;
+  UsdEngine engine({5000, 5000, 5000}, 5000, 3);
+  ChurnModel churn(1.0, 0.0, ChurnModel::JoinPolicy::kUniformOpinion, 9);
+  constexpr int kEvents = 30000;
+  std::vector<std::int64_t> joined(k, 0);
+  for (int i = 0; i < kEvents; ++i) {
+    const std::vector<Count> before = engine.counts();
+    churn.step(engine);
+    int entered = -1;
+    for (std::size_t s = 0; s <= k; ++s) {
+      if (engine.counts()[s] == before[s] + 1) entered = static_cast<int>(s);
+    }
+    ASSERT_GT(entered, 0) << "uniform-policy joiners must not enter ⊥";
+    ++joined[static_cast<std::size_t>(entered) - 1];
+  }
+  EXPECT_EQ(churn.joins(), kEvents);
+  EXPECT_EQ(churn.leaves(), 0);
+  EXPECT_EQ(engine.population(), 20000 + kEvents);
+  EXPECT_GT(testutil::chi_square_pvalue(
+                joined, testutil::uniform_expectation(k, kEvents)),
+            1e-6);
+}
+
+TEST(ChurnModelTest, LeaveHeavyRunFloorsAtTwoAgentsWithoutUnderflow) {
+  // join 0 / leave 0.5 on a tiny population: the engine floor of 2 must
+  // hold, suppressed departures must stay out of the ledger, and no count
+  // ever underflows (CheckFailure would throw).
+  UsdEngine engine({6, 6}, 41);
+  ChurnModel churn(0.0, 0.5, ChurnModel::JoinPolicy::kUndecided, 43);
+  churn.run(engine, 5000);
+  EXPECT_EQ(engine.population(), 2);
+  EXPECT_EQ(churn.joins(), 0);
+  EXPECT_EQ(churn.leaves(), 10);  // exactly initial − floor departures
+  EXPECT_EQ(total_count(engine.counts()), 2);
+}
+
+TEST(ChurnModelTest, CollapsedEngineLedgerConservation) {
+  const UndecidedStateDynamics usd(3);
+  CollapsedSimulator sim(usd, Configuration({0, 40000, 30000, 30000}), 17);
+  ChurnModel churn(0.02, 0.02, ChurnModel::JoinPolicy::kUniformOpinion, 23);
+  const Count initial = sim.configuration().population();
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    churn.run(sim, 20000);
+    ASSERT_EQ(sim.configuration().population(),
+              initial + churn.joins() - churn.leaves());
+    ASSERT_EQ(total_count(sim.configuration().counts()),
+              sim.configuration().population());
+  }
+  EXPECT_GT(churn.joins(), 0);
+  EXPECT_GT(churn.leaves(), 0);
+}
+
+TEST(ChurnModelTest, CollapsedLeaveHeavyRunFloorsAtTwo) {
+  const UndecidedStateDynamics usd(2);
+  CollapsedSimulator sim(usd, Configuration({0, 10, 10}), 29);
+  ChurnModel churn(0.0, 0.9, ChurnModel::JoinPolicy::kUndecided, 31);
+  churn.run(sim, 10000);
+  EXPECT_EQ(sim.configuration().population(), 2);
+  EXPECT_EQ(churn.leaves(), 18);
+}
+
+TEST(ChurnModelTest, ZeroChurnIsAFixedPopulationNoOp) {
+  // Rate 0 makes zero churn draws: the run is identical to an un-churned
+  // engine with the same seed, step for step.
+  UsdEngine plain({500, 500}, 7);
+  UsdEngine churned({500, 500}, 7);
+  ChurnModel churn(0.0, 0.0, ChurnModel::JoinPolicy::kUndecided, 1);
+  for (int i = 0; i < 10000; ++i) {
+    plain.step();
+    churned.step();
+    churn.step(churned);
+    ASSERT_EQ(plain.counts(), churned.counts());
+  }
+  EXPECT_EQ(churn.joins(), 0);
+  EXPECT_EQ(churn.leaves(), 0);
+  EXPECT_EQ(churned.population(), 1000);
+}
+
+TEST(FaultParityTest, CollapsedCorruptionRateMatchesAgentSpaceInjector) {
+  // The counts-space injector must realize the same corruption rate as the
+  // agent-space one: both ~ Binomial(T, rate), T = 200000, rate = 0.01,
+  // σ ≈ 44.5. Each realized count sits within 4σ of rate·T, which also
+  // bounds their mutual gap.
+  constexpr Interactions kBudget = 200000;
+  constexpr double kRate = 0.01;
+  const double mean = kRate * static_cast<double>(kBudget);
+  const double sigma =
+      std::sqrt(static_cast<double>(kBudget) * kRate * (1.0 - kRate));
+
+  UsdEngine engine({40000, 30000, 30000}, 0, 61);
+  UsdFaultInjector agent_space(kRate, 67);
+  agent_space.run(engine, kBudget);
+  EXPECT_EQ(engine.interactions(), kBudget);
+
+  const UndecidedStateDynamics usd(3);
+  CollapsedSimulator sim(usd, Configuration({0, 40000, 30000, 30000}), 61);
+  CountsFaultInjector counts_space(kRate, 67);
+  counts_space.run(sim, kBudget);
+  EXPECT_EQ(sim.interactions(), kBudget);
+
+  for (const double realized :
+       {static_cast<double>(agent_space.corruptions()),
+        static_cast<double>(counts_space.corruptions())}) {
+    EXPECT_GT(realized, mean - 4.0 * sigma);
+    EXPECT_LT(realized, mean + 4.0 * sigma);
+  }
+  // Population is invariant under corruption on both engines.
+  EXPECT_EQ(engine.population(), 100000);
+  EXPECT_EQ(sim.configuration().population(), 100000);
+}
+
+TEST(FaultParityTest, ZeroRateCountsInjectorMakesNoDraws) {
+  const UndecidedStateDynamics usd(2);
+  CollapsedSimulator faulted(usd, Configuration({0, 600, 400}), 83);
+  CollapsedSimulator plain(usd, Configuration({0, 600, 400}), 83);
+  CountsFaultInjector injector(0.0, 5);
+  injector.run(faulted, 50000);
+  plain.run_until_stable(50000);
+  EXPECT_EQ(injector.corruptions(), 0);
+  EXPECT_EQ(faulted.configuration().counts(), plain.configuration().counts());
+}
+
+TEST(DynamicGraphTest, ResamplesRebindAndStabilize) {
+  const UndecidedStateDynamics usd(2);
+  const NodeId n = 200;
+  auto generator = [n](Xoshiro256pp& rng) {
+    return InteractionGraph::random_regular(n, 8, rng);
+  };
+  auto run_once = [&]() {
+    DynamicGraph dyn(generator, 5 * static_cast<Interactions>(n), 111);
+    std::vector<State> init(n, 1);
+    for (NodeId v = 150; v < n; ++v) init[v] = 2;
+    GraphSimulator sim(usd, dyn.graph(), std::move(init), 222);
+    const bool stable =
+        dyn.run_until_stable(sim, 5'000'000);
+    return std::tuple(stable, dyn.resamples(), sim.configuration().counts(),
+                      sim.interactions());
+  };
+  const auto [stable, resamples, counts, interactions] = run_once();
+  EXPECT_TRUE(stable);
+  EXPECT_GT(resamples, 0u);
+  EXPECT_EQ(total_count(counts), 200);
+  // Same seeds ⇒ identical topology sequence and trajectory.
+  EXPECT_EQ(run_once(), std::tuple(stable, resamples, counts, interactions));
+}
+
+TEST(DynamicGraphTest, RejectsZeroResampleInterval) {
+  auto generator = [](Xoshiro256pp&) { return InteractionGraph::cycle(10); };
+  EXPECT_THROW(DynamicGraph(generator, 0, 1), CheckFailure);
+}
+
+// ---- sweep-level pins ------------------------------------------------------
+
+std::vector<Count> cell_counts(const SweepCell& cell) {
+  // Majority split with a fixed 10% bias, as the benches do.
+  std::vector<Count> counts(cell.k, cell.n / static_cast<Count>(cell.k));
+  counts[0] += cell.n - total_count(counts);
+  return counts;
+}
+
+SweepMetrics plain_body(const SweepTrial& ctx) {
+  UsdEngine engine(cell_counts(ctx.cell), ctx.seed);
+  const bool stabilized = engine.run_until_stable(2000 * ctx.cell.n);
+  return {{"stabilized", stabilized ? 1.0 : 0.0},
+          {"parallel_time", engine.time()}};
+}
+
+SweepTrialFn scenario_body(const ScenarioSpec scenario) {
+  return [scenario](const SweepTrial& ctx) -> SweepMetrics {
+    UsdEngine engine(cell_counts(ctx.cell), ctx.seed);
+    // Scenario streams are drawn AFTER ctx.seed, so the engine's seeding is
+    // identical to the plain body's.
+    AdversarialScheduler adv(scenario.adversary_strength, ctx.rng());
+    ChurnModel churn(scenario.churn_rate, scenario.churn_rate,
+                     scenario.churn_joiners_undecided
+                         ? ChurnModel::JoinPolicy::kUndecided
+                         : ChurnModel::JoinPolicy::kUniformOpinion,
+                     ctx.rng());
+    const Interactions budget = 2000 * ctx.cell.n;
+    while (engine.interactions() < budget && !engine.stabilized()) {
+      adv.step(engine);
+      churn.step(engine);
+    }
+    return {{"stabilized", engine.stabilized() ? 1.0 : 0.0},
+            {"parallel_time", engine.time()}};
+  };
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "scenario-pin";
+  for (const Count n : {400, 900}) {
+    SweepCell cell;
+    cell.n = n;
+    cell.k = 3;
+    spec.cells.push_back(cell);
+  }
+  spec.trials = 6;
+  spec.base_seed = 99;
+  return spec;
+}
+
+TEST(ScenarioSweepTest, ZeroKnobScenarioBodyIsByteIdenticalToPlain) {
+  // The scenario body at strength 0 / churn 0 draws its (unused) scenario
+  // seeds from the trial stream but never the engine's — its JSON must be
+  // byte-identical to the plain body's.
+  const SweepSpec spec = small_spec();
+  const std::string plain = SweepRunner(spec).run(plain_body).to_json();
+  const std::string zero =
+      SweepRunner(spec).run(scenario_body(ScenarioSpec{})).to_json();
+  EXPECT_EQ(plain, zero);
+}
+
+TEST(ScenarioSweepTest, AdversarialSweepIsByteIdenticalAcrossThreads) {
+  ScenarioSpec scenario;
+  scenario.adversary_strength = 0.2;
+  scenario.churn_rate = 0.01;
+  SweepSpec spec = small_spec();
+  for (SweepCell& cell : spec.cells) cell.params = scenario.params();
+
+  SweepSpec threaded = spec;
+  threaded.threads = 8;
+  const std::string lo = SweepRunner(spec).run(scenario_body(scenario)).to_json();
+  const std::string hi =
+      SweepRunner(threaded).run(scenario_body(scenario)).to_json();
+  EXPECT_EQ(lo, hi);
+
+  // Same pin under adaptive stopping (--trials auto): prefix-evaluated
+  // stopping keeps the byte-identity guarantee.
+  SweepSpec adaptive = spec;
+  adaptive.stopping.adaptive = true;
+  adaptive.stopping.min_trials = 4;
+  adaptive.trials = 8;
+  SweepSpec adaptive_hi = adaptive;
+  adaptive_hi.threads = 8;
+  const std::string alo =
+      SweepRunner(adaptive).run(scenario_body(scenario)).to_json();
+  const std::string ahi =
+      SweepRunner(adaptive_hi).run(scenario_body(scenario)).to_json();
+  EXPECT_EQ(alo, ahi);
+
+  // And the scenario params visibly mark the report as adversarial — it can
+  // never be mistaken for (or cached as) the plain sweep's.
+  const std::string plain = SweepRunner(small_spec()).run(plain_body).to_json();
+  EXPECT_NE(lo, plain);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -25,6 +25,7 @@
 #include "ppsim/analysis/initial.hpp"
 #include "ppsim/core/engine.hpp"
 #include "ppsim/core/runner.hpp"
+#include "ppsim/core/scenario.hpp"
 #include "ppsim/core/sweep.hpp"
 #include "ppsim/net/socket.hpp"
 #include "ppsim/protocols/usd.hpp"
@@ -202,6 +203,95 @@ TEST(SweepServiceTest, EngineOverrideMirrorsTheGenericFacade) {
   EXPECT_EQ(report_of(lines), offline);
 }
 
+TEST(SweepServiceTest, ScenarioFieldsRoundTripMatchingTheOfflineRunner) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const JsonValue request = JsonValue::parse(
+      R"({"type": "submit", "n": 300, "k": 2, "trials": 2, "seed": 7,)"
+      R"( "threads": 2, "adversary": 0.25, "churn": 0.001})");
+  const std::vector<std::string> lines = run_collect(service, request);
+  ASSERT_EQ(lines.size(), 2u);
+  // The knobs round-trip into the streamed cell's params block.
+  const JsonValue cell = JsonValue::parse(lines[0]);
+  const JsonValue& params = cell.at("data").at("params");
+  EXPECT_EQ(params.at("adversary_strength").as_number(), 0.25);
+  EXPECT_EQ(params.at("churn_rate").as_number(), 0.001);
+  // Offline oracle: ppsim_run's --adversary/--churn scenario body, rebuilt
+  // here independently of the service's mirroring code.
+  const Count bias = static_cast<Count>(bounds::whp_bias(kN));
+  SweepSpec spec;
+  spec.name = "ppsim_run";
+  SweepCell oracle_cell;
+  oracle_cell.n = kN;
+  oracle_cell.k = kK;
+  oracle_cell.bias = static_cast<double>(bias);
+  oracle_cell.protocol = "usd";
+  oracle_cell.engine = EngineKind::kSequential;
+  ScenarioSpec scenario;
+  scenario.adversary_strength = 0.25;
+  scenario.churn_rate = 0.001;
+  oracle_cell.params = scenario.params();
+  spec.cells.push_back(oracle_cell);
+  spec.trials = 2;
+  spec.base_seed = 7;
+  spec.threads = 2;
+  spec.kernel = kernels::KernelKind::kScalar;
+  const InitialConfig init = adversarial_configuration(kN, kK, bias);
+  const auto budget =
+      static_cast<Interactions>(kMaxParallel * static_cast<double>(kN));
+  const std::string offline =
+      SweepRunner(spec)
+          .run([&](const SweepTrial& ctx) {
+            UsdEngine engine(init.opinion_counts, ctx.seed);
+            AdversarialScheduler adversary(scenario.adversary_strength,
+                                           ctx.rng());
+            ChurnModel churn(scenario.churn_rate, scenario.churn_rate,
+                             ChurnModel::JoinPolicy::kUndecided, ctx.rng());
+            while (!engine.stabilized() && engine.interactions() < budget) {
+              adversary.step(engine);
+              churn.step(engine);
+            }
+            TrialResult r;
+            r.stabilized = engine.stabilized();
+            r.interactions = engine.interactions();
+            r.parallel_time = engine.time();
+            r.winner = engine.winner();
+            SweepMetrics m = consensus_metrics(r);
+            m.emplace_back("interventions",
+                           static_cast<double>(adversary.interventions()));
+            m.emplace_back("joins", static_cast<double>(churn.joins()));
+            m.emplace_back("leaves", static_cast<double>(churn.leaves()));
+            m.emplace_back("final_population",
+                           static_cast<double>(engine.population()));
+            return m;
+          })
+          .to_json();
+  EXPECT_EQ(report_of(lines), offline);
+}
+
+TEST(SweepServiceTest, ScenarioParamsKeyTheCacheDistinctlyFromPlainSubmits) {
+  SweepService service({.cache_memory = 16, .cache_dir = ""});
+  const JsonValue scenario_request = JsonValue::parse(
+      R"({"type": "submit", "n": 300, "k": 2, "trials": 2, "seed": 7,)"
+      R"( "threads": 2, "adversary": 0.25, "churn": 0.001})");
+  run_collect(service, scenario_request);
+  const std::uint64_t after_scenario = service.counters().trials_executed;
+  EXPECT_EQ(after_scenario, 2u);
+  // A plain submit of the otherwise-identical spec must NOT be served from
+  // the scenario run's cache entry: the knobs live in the cell params, so
+  // the canonical cell keys differ and the plain cells compute cold.
+  const std::vector<std::string> plain =
+      run_collect(service, submit_request());
+  EXPECT_EQ(service.counters().trials_executed, after_scenario + 2);
+  EXPECT_EQ(service.counters().cells_from_cache, 0u);
+  EXPECT_EQ(report_of(plain), offline_report(7, 2));
+  // Re-submitting the scenario spec IS a cache hit — same knobs, same key.
+  const std::vector<std::string> warm =
+      run_collect(service, scenario_request);
+  EXPECT_EQ(service.counters().trials_executed, after_scenario + 2);
+  EXPECT_EQ(service.counters().cells_from_cache, 1u);
+  EXPECT_TRUE(JsonValue::parse(warm[0]).at("cached").as_bool());
+}
+
 TEST(SweepServiceTest, InvalidRequestsAreRejectedBeforeAnyWork) {
   SweepService service({.cache_memory = 16, .cache_dir = ""});
   const auto reject = [&](const std::string& request) {
@@ -219,6 +309,10 @@ TEST(SweepServiceTest, InvalidRequestsAreRejectedBeforeAnyWork) {
   reject(R"({"type": "submit", "engine": "warp"})");
   reject(R"({"type": "submit", "max_parallel": 0})");
   reject(R"({"type": "submit", "bias": 1.5})");  // non-integral bias
+  reject(R"({"type": "submit", "adversary": 1.5})");
+  reject(R"({"type": "submit", "churn": -0.1})");
+  // Scenario knobs run the specialized sequential body only.
+  reject(R"({"type": "submit", "adversary": 0.3, "engine": "collapsed"})");
   EXPECT_EQ(service.counters().jobs_completed, 0u);
   EXPECT_EQ(service.counters().trials_executed, 0u);
 }

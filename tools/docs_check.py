@@ -124,7 +124,8 @@ def registered_flags(binary: str, root: pathlib.Path):
     flags = set(FLAG_REGISTRATION_RE.findall(text))
     if "read_sweep_flags" in text:
         flags |= {"trials", "min-trials", "max-trials", "seed", "threads",
-                  "json", "record-to", "checkpoint-every", "kernel"}
+                  "json", "record-to", "checkpoint-every", "kernel",
+                  "adversary", "churn", "regraph"}
     return flags
 
 
